@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestRunFig2(t *testing.T) {
+	if err := run([]string{"fig2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFig2CSV(t *testing.T) {
+	if err := run([]string{"fig2", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownSubcommand(t *testing.T) {
+	if err := run([]string{"fig99"}); err == nil {
+		t.Error("unknown subcommand accepted")
+	}
+}
+
+func TestRunMissingSubcommand(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing subcommand accepted")
+	}
+}
+
+func TestRunUnknownBenchmark(t *testing.T) {
+	if err := run([]string{"table2", "-benchmarks", "nope", "-q"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRunTinyTable2(t *testing.T) {
+	err := run([]string{"table2", "-benchmarks", "zlib", "-execs", "1000", "-scale", "0.02", "-q"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

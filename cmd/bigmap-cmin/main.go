@@ -1,0 +1,77 @@
+// Command bigmap-cmin minimizes a saved corpus to a coverage-preserving
+// subset (the afl-cmin role): fewer files, identical exact edge coverage.
+//
+// Usage:
+//
+//	bigmap-fuzz -bench sqlite3 -execs 300000 -scale 0.05 -o out
+//	bigmap-cmin -bench sqlite3 -scale 0.05 -i out/queue -o out/queue.min
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"github.com/bigmap/bigmap"
+	"github.com/bigmap/bigmap/internal/cmin"
+	"github.com/bigmap/bigmap/internal/output"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bigmap-cmin:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bigmap-cmin", flag.ContinueOnError)
+	benchName := fs.String("bench", "", "benchmark profile the corpus was fuzzed against")
+	scale := fs.Float64("scale", 0.1, "benchmark scale used by the session")
+	laf := fs.Bool("laf", false, "session used the laf-intel transformation")
+	seed := fs.Uint64("seed", 1, "campaign seed used by the session")
+	inDir := fs.String("i", "", "input corpus directory")
+	outDir := fs.String("o", "", "output directory for the minimized corpus")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *benchName == "" || *inDir == "" || *outDir == "" {
+		return fmt.Errorf("need -bench, -i and -o")
+	}
+
+	profile, ok := bigmap.ProfileByName(*benchName)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q", *benchName)
+	}
+	prog, err := bigmap.Generate(profile.Spec(*scale))
+	if err != nil {
+		return err
+	}
+	if *laf {
+		prog, _ = bigmap.LafIntel(prog, *seed)
+	}
+
+	corpus, err := output.LoadCorpus(*inDir)
+	if err != nil {
+		return err
+	}
+	if len(corpus) == 0 {
+		return fmt.Errorf("no inputs in %s", *inDir)
+	}
+
+	res := cmin.Minimize(prog, corpus, 0)
+	fmt.Printf("corpus: %d -> %d inputs, %d exact edges preserved\n",
+		len(corpus), len(res.Kept), res.EdgesAfter)
+
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
+	}
+	for i, k := range res.Kept {
+		name := fmt.Sprintf("id:%06d,orig:%06d", i, k)
+		if err := os.WriteFile(filepath.Join(*outDir, name), corpus[k], 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
+}

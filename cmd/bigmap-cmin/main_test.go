@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing flags accepted")
+	}
+	if err := run([]string{"-bench", "nope", "-i", "x", "-o", "y"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	empty := t.TempDir()
+	if err := run([]string{"-bench", "zlib", "-scale", "0.05", "-i", empty, "-o", t.TempDir()}); err == nil {
+		t.Error("empty corpus accepted")
+	}
+}
+
+func TestRunMinimizesCorpus(t *testing.T) {
+	in := t.TempDir()
+	out := filepath.Join(t.TempDir(), "min")
+	// A redundant corpus: several identical files plus a couple distinct.
+	for i, content := range []string{"aaaa", "aaaa", "aaaa", "bbbbbbbb", "cc"} {
+		name := filepath.Join(in, "id:"+string(rune('0'+i)))
+		if err := os.WriteFile(name, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := run([]string{"-bench", "zlib", "-scale", "0.05", "-i", in, "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	files, err := os.ReadDir(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 || len(files) >= 5 {
+		t.Errorf("minimized corpus has %d files, want 1..4", len(files))
+	}
+}

@@ -1,0 +1,96 @@
+// Command bigmap-collide is a collision-rate calculator for coverage
+// bitmaps, implementing the paper's Equation 1 and the birthday bound of
+// §III.
+//
+// Usage:
+//
+//	bigmap-collide                        # print the Figure 2 table
+//	bigmap-collide -map 64k -keys 40948   # one Equation 1 evaluation
+//	bigmap-collide -map 64k -p 0.5        # keys needed for 50% birthday odds
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/bigmap/bigmap/internal/bench"
+	"github.com/bigmap/bigmap/internal/collision"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bigmap-collide:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bigmap-collide", flag.ContinueOnError)
+	mapSize := fs.String("map", "", "bitmap size (e.g. 64k, 2M, 65536)")
+	keys := fs.Int("keys", 0, "number of keys drawn (Equation 1 mode)")
+	prob := fs.Float64("p", 0, "target collision probability (birthday mode)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *mapSize == "" {
+		tbl, err := bench.Fig2()
+		if err != nil {
+			return err
+		}
+		return tbl.Render(os.Stdout)
+	}
+
+	h, err := parseSize(*mapSize)
+	if err != nil {
+		return err
+	}
+	switch {
+	case *keys > 0:
+		rate, err := collision.Rate(h, *keys)
+		if err != nil {
+			return err
+		}
+		birthday, err := collision.BirthdayProbability(h, *keys)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("map size      : %d slots\n", h)
+		fmt.Printf("keys drawn    : %d\n", *keys)
+		fmt.Printf("collision rate: %.4f%% (Equation 1)\n", rate*100)
+		fmt.Printf("P(>=1 clash)  : %.4f (birthday bound)\n", birthday)
+		return nil
+	case *prob > 0:
+		n, err := collision.KeysForProbability(h, *prob)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d keys reach a %.0f%% collision probability in a %d-slot map\n",
+			n, *prob*100, h)
+		return nil
+	default:
+		return errors.New("need -keys or -p alongside -map")
+	}
+}
+
+// parseSize accepts 64k/2M style suffixes or plain integers.
+func parseSize(s string) (int, error) {
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "k"), strings.HasSuffix(s, "K"):
+		mult = 1 << 10
+		s = s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult = 1 << 20
+		s = s[:len(s)-1]
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q: %w", s, err)
+	}
+	return v * mult, nil
+}

@@ -1,0 +1,47 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	tests := []struct {
+		in   string
+		want int
+		ok   bool
+	}{
+		{"64k", 64 << 10, true},
+		{"64K", 64 << 10, true},
+		{"2M", 2 << 20, true},
+		{"2m", 2 << 20, true},
+		{"65536", 65536, true},
+		{"garbage", 0, false},
+		{"", 0, false},
+	}
+	for _, tt := range tests {
+		got, err := parseSize(tt.in)
+		if tt.ok && (err != nil || got != tt.want) {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", tt.in, got, err, tt.want)
+		}
+		if !tt.ok && err == nil {
+			t.Errorf("parseSize(%q) succeeded", tt.in)
+		}
+	}
+}
+
+func TestRunModes(t *testing.T) {
+	// Equation 1 mode.
+	if err := run([]string{"-map", "64k", "-keys", "1000"}); err != nil {
+		t.Errorf("eq1 mode: %v", err)
+	}
+	// Birthday mode.
+	if err := run([]string{"-map", "64k", "-p", "0.5"}); err != nil {
+		t.Errorf("birthday mode: %v", err)
+	}
+	// Missing mode flag.
+	if err := run([]string{"-map", "64k"}); err == nil {
+		t.Error("missing -keys/-p accepted")
+	}
+	// Figure 2 table mode.
+	if err := run(nil); err != nil {
+		t.Errorf("table mode: %v", err)
+	}
+}

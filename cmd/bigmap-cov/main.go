@@ -1,0 +1,95 @@
+// Command bigmap-cov replays saved corpora under the bias-free exact
+// coverage build (§V-A3) and optionally diffs two corpora — the
+// methodology the paper uses to compare configurations whose own coverage
+// counters are incomparable.
+//
+// Usage:
+//
+//	bigmap-cov -bench sqlite3 -scale 0.05 -i out-a/queue
+//	bigmap-cov -bench sqlite3 -scale 0.05 -i out-a/queue -diff out-b/queue
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/bigmap/bigmap"
+	"github.com/bigmap/bigmap/internal/covreport"
+	"github.com/bigmap/bigmap/internal/output"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bigmap-cov:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bigmap-cov", flag.ContinueOnError)
+	benchName := fs.String("bench", "", "benchmark profile the corpus was fuzzed against")
+	scale := fs.Float64("scale", 0.1, "benchmark scale used by the session")
+	laf := fs.Bool("laf", false, "session used the laf-intel transformation")
+	seed := fs.Uint64("seed", 1, "campaign seed used by the session")
+	inDir := fs.String("i", "", "corpus directory to measure")
+	diffDir := fs.String("diff", "", "second corpus to diff against (optional)")
+	verbose := fs.Bool("v", false, "list the edges unique to each corpus")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *benchName == "" || *inDir == "" {
+		return fmt.Errorf("need -bench and -i")
+	}
+
+	profile, ok := bigmap.ProfileByName(*benchName)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q", *benchName)
+	}
+	prog, err := bigmap.Generate(profile.Spec(*scale))
+	if err != nil {
+		return err
+	}
+	if *laf {
+		prog, _ = bigmap.LafIntel(prog, *seed)
+	}
+
+	measure := func(dir string) (*covreport.Report, error) {
+		corpus, err := output.LoadCorpus(dir)
+		if err != nil {
+			return nil, err
+		}
+		rep := covreport.New(prog, 0)
+		rep.AddCorpus(corpus)
+		total, crashes, hangs := rep.Inputs()
+		fmt.Printf("%s: %d inputs (%d crash, %d hang), %d exact edges, %d blocks\n",
+			dir, total, crashes, hangs, rep.Edges(), rep.Blocks())
+		return rep, nil
+	}
+
+	a, err := measure(*inDir)
+	if err != nil {
+		return err
+	}
+	if *diffDir == "" {
+		return nil
+	}
+	b, err := measure(*diffDir)
+	if err != nil {
+		return err
+	}
+
+	onlyA := a.Diff(b)
+	onlyB := b.Diff(a)
+	fmt.Printf("\nedges only in %s: %d\n", *inDir, len(onlyA))
+	fmt.Printf("edges only in %s: %d\n", *diffDir, len(onlyB))
+	if *verbose {
+		for _, e := range onlyA {
+			fmt.Printf("  A %d -> %d\n", e.From, e.To)
+		}
+		for _, e := range onlyB {
+			fmt.Printf("  B %d -> %d\n", e.From, e.To)
+		}
+	}
+	return nil
+}

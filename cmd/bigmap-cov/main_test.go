@@ -1,0 +1,42 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeCorpus(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing flags accepted")
+	}
+	if err := run([]string{"-bench", "nope", "-i", t.TempDir()}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRunMeasuresCorpus(t *testing.T) {
+	dir := writeCorpus(t, map[string]string{"a": "aaaa", "b": "bbbbbbbb"})
+	if err := run([]string{"-bench", "zlib", "-scale", "0.05", "-i", dir}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDiffsCorpora(t *testing.T) {
+	a := writeCorpus(t, map[string]string{"a": "aaaa"})
+	b := writeCorpus(t, map[string]string{"b": "bbbbbbbb", "c": "cccc"})
+	if err := run([]string{"-bench", "zlib", "-scale", "0.05", "-i", a, "-diff", b, "-v"}); err != nil {
+		t.Fatal(err)
+	}
+}

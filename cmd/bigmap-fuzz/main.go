@@ -1,0 +1,222 @@
+// Command bigmap-fuzz runs one fuzzing campaign against a synthetic
+// benchmark, with the map scheme, map size and coverage metric on the
+// command line — the interactive front door to the library.
+//
+// Usage:
+//
+//	bigmap-fuzz -bench sqlite3 -scheme bigmap -map 2M -execs 200000
+//	bigmap-fuzz -bench gvn -scheme afl -map 64k -seconds 10
+//	bigmap-fuzz -bench instcombine -laf -ngram 3 -map 2M -execs 100000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/bigmap/bigmap"
+	"github.com/bigmap/bigmap/internal/dictionary"
+	"github.com/bigmap/bigmap/internal/output"
+	"github.com/bigmap/bigmap/internal/rng"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bigmap-fuzz:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bigmap-fuzz", flag.ContinueOnError)
+	benchName := fs.String("bench", "libpng", "benchmark profile (Table II / Table III name)")
+	scheme := fs.String("scheme", "bigmap", "coverage map scheme: afl | bigmap")
+	mapSize := fs.String("map", "64k", "coverage map size (64k, 256k, 2M, 8M)")
+	execs := fs.Uint64("execs", 100000, "test case budget (0 = use -seconds)")
+	seconds := fs.Float64("seconds", 0, "wall-clock budget in seconds (when -execs is 0)")
+	scale := fs.Float64("scale", 0.1, "benchmark scale relative to the paper's static edges")
+	seed := fs.Uint64("seed", 1, "campaign seed")
+	seeds := fs.Int("seeds", 16, "synthesized seed corpus size")
+	ngram := fs.Int("ngram", 0, "use N-gram coverage with this N (0 = edge coverage)")
+	laf := fs.Bool("laf", false, "apply the laf-intel transformation")
+	det := fs.Bool("det", false, "run AFL's deterministic stages")
+	outDir := fs.String("o", "", "output directory (queue/, crashes/, fuzzer_stats, plot_data)")
+	inDir := fs.String("i", "", "input corpus directory (replaces synthesized seeds)")
+	dictFile := fs.String("x", "", "AFL-style dictionary file")
+	autoDict := fs.Bool("autodict", false, "harvest comparison operands from the target as a dictionary")
+	cmpLog := fs.Bool("cmplog", false, "enable RedQueen-style input-to-state mutation")
+	schedule := fs.String("schedule", "", "power schedule: exploit|fast|explore|coe|lin|quad")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	profile, ok := bigmap.ProfileByName(*benchName)
+	if !ok {
+		return fmt.Errorf("unknown benchmark %q (see DESIGN.md for the list)", *benchName)
+	}
+	size, err := parseSize(*mapSize)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("generating %s at scale %g...\n", profile.Name, *scale)
+	prog, err := bigmap.Generate(profile.Spec(*scale))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %d blocks, %d static edges\n", prog.NumBlocks(), prog.StaticEdges())
+
+	if *laf {
+		var stats bigmap.LafIntelStats
+		prog, stats = bigmap.LafIntel(prog, *seed)
+		fmt.Printf("  laf-intel: %d compares + %d switches split, static edges %d -> %d\n",
+			stats.SplitCompares, stats.SplitSwitches,
+			stats.StaticEdgesBefore, stats.StaticEdgesAfter)
+	}
+
+	opts := []bigmap.Option{
+		bigmap.WithScheme(bigmap.Scheme(*scheme)),
+		bigmap.WithMapSize(size),
+		bigmap.WithSeed(*seed),
+	}
+	if *ngram > 0 {
+		opts = append(opts, bigmap.WithNGram(*ngram))
+	}
+	if *det {
+		opts = append(opts, bigmap.WithDeterministicStages())
+	}
+	if *cmpLog {
+		opts = append(opts, bigmap.WithCmpLog())
+	}
+	if *schedule != "" {
+		opts = append(opts, bigmap.WithPowerSchedule(*schedule))
+	}
+	var dict [][]byte
+	if *dictFile != "" {
+		content, err := os.ReadFile(*dictFile)
+		if err != nil {
+			return err
+		}
+		tokens, err := dictionary.Parse(string(content), 1<<30)
+		if err != nil {
+			return err
+		}
+		dict = append(dict, dictionary.Data(tokens)...)
+		fmt.Printf("  loaded %d dictionary tokens from %s\n", len(tokens), *dictFile)
+	}
+	if *autoDict {
+		tokens := dictionary.Extract(prog)
+		dict = append(dict, dictionary.Data(tokens)...)
+		fmt.Printf("  harvested %d dictionary tokens from the target\n", len(tokens))
+	}
+	if len(dict) > 0 {
+		opts = append(opts, bigmap.WithDictionary(dict))
+	}
+	f, err := bigmap.NewFuzzer(prog, opts...)
+	if err != nil {
+		return err
+	}
+
+	var corpusIn [][]byte
+	if *inDir != "" {
+		var err error
+		corpusIn, err = output.LoadCorpus(*inDir)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  loaded %d corpus inputs from %s\n", len(corpusIn), *inDir)
+	} else {
+		corpusIn = prog.SampleSeeds(rng.New(*seed^0x5eed), *seeds)
+	}
+	accepted := 0
+	for _, s := range corpusIn {
+		if err := f.AddSeed(s); err == nil {
+			accepted++
+		}
+	}
+	if accepted == 0 {
+		return fmt.Errorf("all seeds crashed or hung")
+	}
+	fmt.Printf("  %d/%d seeds accepted\n", accepted, len(corpusIn))
+
+	var session *output.Session
+	if *outDir != "" {
+		var err error
+		session, err = output.NewSession(*outDir)
+		if err != nil {
+			return err
+		}
+		defer session.Close()
+	}
+
+	start := time.Now()
+	if *execs > 0 {
+		err = f.RunExecs(*execs)
+	} else if *seconds > 0 {
+		err = f.RunFor(time.Duration(*seconds * float64(time.Second)))
+	} else {
+		return fmt.Errorf("need -execs or -seconds")
+	}
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	st := f.Stats()
+	fmt.Printf("\ncampaign finished in %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("  execs           : %d (%.0f/sec)\n", st.Execs,
+		float64(st.Execs)/elapsed.Seconds())
+	fmt.Printf("  queue paths     : %d\n", st.Paths)
+	fmt.Printf("  edges discovered: %d\n", st.EdgesDiscovered)
+	fmt.Printf("  used_key        : %d / %d map slots\n", st.UsedKeys, size)
+	fmt.Printf("  crashes         : %d total, %d unique (crashwalk), %d unique (afl)\n",
+		st.Crashes, st.UniqueCrashes, st.UniqueCrashesAFL)
+	fmt.Printf("  hangs           : %d\n", st.Hangs)
+	rate, err := bigmap.CollisionRate(size, maxInt(st.EdgesDiscovered, 1))
+	if err == nil {
+		fmt.Printf("  collision rate  : %.2f%% (Equation 1 at this map size)\n", rate*100)
+	}
+
+	if session != nil {
+		if err := session.SaveQueue(f.Queue().Entries()); err != nil {
+			return err
+		}
+		if err := session.SaveCrashes(f.Crashes().Records()); err != nil {
+			return err
+		}
+		if err := session.WriteStats(st, *scheme, size); err != nil {
+			return err
+		}
+		if err := session.AppendPlot(st); err != nil {
+			return err
+		}
+		fmt.Printf("  session saved to %s\n", session.Dir())
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func parseSize(s string) (int, error) {
+	mult := 1
+	switch {
+	case strings.HasSuffix(s, "k"), strings.HasSuffix(s, "K"):
+		mult = 1 << 10
+		s = s[:len(s)-1]
+	case strings.HasSuffix(s, "M"), strings.HasSuffix(s, "m"):
+		mult = 1 << 20
+		s = s[:len(s)-1]
+	}
+	var v int
+	if _, err := fmt.Sscanf(s, "%d", &v); err != nil {
+		return 0, fmt.Errorf("bad size %q: %w", s, err)
+	}
+	return v * mult, nil
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunSmallCampaign(t *testing.T) {
+	err := run([]string{
+		"-bench", "zlib", "-scheme", "bigmap", "-map", "64k",
+		"-execs", "2000", "-scale", "0.05", "-seeds", "4",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithLafAndNGram(t *testing.T) {
+	err := run([]string{
+		"-bench", "libpng", "-scheme", "bigmap", "-map", "256k",
+		"-execs", "1500", "-scale", "0.05", "-seeds", "4",
+		"-laf", "-ngram", "3",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownBenchmark(t *testing.T) {
+	if err := run([]string{"-bench", "nope", "-execs", "10"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRunRejectsMissingBudget(t *testing.T) {
+	if err := run([]string{"-bench", "zlib", "-execs", "0", "-scale", "0.05"}); err == nil {
+		t.Error("zero budget accepted")
+	}
+}
+
+func TestRunRejectsBadMapSize(t *testing.T) {
+	if err := run([]string{"-bench", "zlib", "-map", "xyz", "-execs", "10"}); err == nil {
+		t.Error("bad map size accepted")
+	}
+}
+
+func TestRunWithOutputDir(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{
+		"-bench", "zlib", "-scheme", "bigmap", "-map", "64k",
+		"-execs", "1500", "-scale", "0.05", "-seeds", "4", "-o", dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The saved queue must round-trip as an input corpus.
+	err = run([]string{
+		"-bench", "zlib", "-scheme", "afl", "-map", "64k",
+		"-execs", "1000", "-scale", "0.05", "-i", dir + "/queue",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithAutoDict(t *testing.T) {
+	err := run([]string{
+		"-bench", "libpng", "-scheme", "bigmap", "-map", "64k",
+		"-execs", "1200", "-scale", "0.05", "-seeds", "4", "-autodict",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithDictionaryFile(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/tokens.dict"
+	if err := os.WriteFile(path, []byte("magic=\"\\x89PNG\"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{
+		"-bench", "zlib", "-execs", "1000", "-scale", "0.05", "-seeds", "4", "-x", path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-bench", "zlib", "-execs", "10", "-x", dir + "/missing"}); err == nil {
+		t.Error("missing dictionary accepted")
+	}
+}

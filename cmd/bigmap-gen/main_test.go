@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -bench accepted")
+	}
+	if err := run([]string{"-bench", "nope"}); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+func TestRunInspectsBenchmark(t *testing.T) {
+	if err := run([]string{"-bench", "libpng", "-scale", "0.05", "-laf", "-dict"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSynthesizesWitnesses(t *testing.T) {
+	if err := run([]string{"-bench", "gvn", "-scale", "0.02", "-witnesses", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}

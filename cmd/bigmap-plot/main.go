@@ -1,0 +1,171 @@
+// Command bigmap-plot renders a saved session's plot_data time series as
+// ASCII charts in the terminal — a quick look at how paths, coverage and
+// crashes grew over a campaign without leaving the shell.
+//
+// Usage:
+//
+//	bigmap-fuzz -bench sqlite3 -execs 500000 -o out
+//	bigmap-plot -data out/plot_data
+//	bigmap-plot -data out/plot_data -series edges -width 100 -height 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bigmap-plot:", err)
+		os.Exit(1)
+	}
+}
+
+// sample is one plot_data row.
+type sample struct {
+	time    float64
+	execs   float64
+	paths   float64
+	edges   float64
+	crashes float64
+	hangs   float64
+}
+
+// series maps a -series name to its column accessor.
+var series = map[string]func(sample) float64{
+	"execs":   func(s sample) float64 { return s.execs },
+	"paths":   func(s sample) float64 { return s.paths },
+	"edges":   func(s sample) float64 { return s.edges },
+	"crashes": func(s sample) float64 { return s.crashes },
+	"hangs":   func(s sample) float64 { return s.hangs },
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bigmap-plot", flag.ContinueOnError)
+	dataPath := fs.String("data", "", "path to a session's plot_data file")
+	which := fs.String("series", "edges,paths,crashes", "comma-separated series to render")
+	width := fs.Int("width", 72, "chart width in characters")
+	height := fs.Int("height", 12, "chart height in rows")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataPath == "" {
+		return fmt.Errorf("need -data <plot_data file>")
+	}
+	if *width < 8 || *height < 2 {
+		return fmt.Errorf("chart too small: need width >= 8 and height >= 2")
+	}
+
+	samples, err := load(*dataPath)
+	if err != nil {
+		return err
+	}
+	if len(samples) == 0 {
+		return fmt.Errorf("no samples in %s", *dataPath)
+	}
+
+	for _, name := range strings.Split(*which, ",") {
+		name = strings.TrimSpace(name)
+		get, ok := series[name]
+		if !ok {
+			return fmt.Errorf("unknown series %q (have execs, paths, edges, crashes, hangs)", name)
+		}
+		fmt.Println(render(name, samples, get, *width, *height))
+	}
+	return nil
+}
+
+// load parses plot_data.
+func load(path string) ([]sample, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var out []sample
+	for lineNo, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != 6 {
+			return nil, fmt.Errorf("line %d: want 6 fields, got %d", lineNo+1, len(fields))
+		}
+		var vals [6]float64
+		for i, f := range fields {
+			v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+			}
+			vals[i] = v
+		}
+		out = append(out, sample{
+			time: vals[0], execs: vals[1], paths: vals[2],
+			edges: vals[3], crashes: vals[4], hangs: vals[5],
+		})
+	}
+	return out, nil
+}
+
+// render draws one series as an ASCII chart.
+func render(name string, samples []sample, get func(sample) float64, width, height int) string {
+	lo, hi := get(samples[0]), get(samples[0])
+	t0 := samples[0].time
+	t1 := samples[len(samples)-1].time
+	for _, s := range samples {
+		v := get(s)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+
+	// Resample onto the chart grid, carrying the last value forward.
+	cols := make([]float64, width)
+	idx := 0
+	for c := 0; c < width; c++ {
+		frac := float64(c) / float64(width-1)
+		t := t0 + frac*(t1-t0)
+		for idx+1 < len(samples) && samples[idx+1].time <= t {
+			idx++
+		}
+		cols[c] = get(samples[idx])
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for c, v := range cols {
+		r := int((v - lo) / (hi - lo) * float64(height-1))
+		row := height - 1 - r
+		grid[row][c] = '*'
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s over %.0fs  [min %.0f, max %.0f]\n", name, t1-t0, lo, hi)
+	for r, row := range grid {
+		label := " "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8.0f |", hi)
+		case height - 1:
+			label = fmt.Sprintf("%8.0f |", lo)
+		default:
+			label = "         |"
+		}
+		b.WriteString(label)
+		b.Write(row)
+		b.WriteByte('\n')
+	}
+	b.WriteString("          +" + strings.Repeat("-", width) + "\n")
+	return b.String()
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writePlot(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "plot_data")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const demoPlot = `# relative_time,execs,paths,edges,crashes_unique,hangs
+0.0,0,4,100,0,0
+1.0,1000,8,150,0,0
+2.0,2000,12,200,1,0
+3.0,3000,14,230,2,0
+`
+
+func TestRunRendersSeries(t *testing.T) {
+	path := writePlot(t, demoPlot)
+	if err := run([]string{"-data", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-data", path, "-series", "execs", "-width", "40", "-height", "8"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -data accepted")
+	}
+	path := writePlot(t, demoPlot)
+	if err := run([]string{"-data", path, "-series", "nope"}); err == nil {
+		t.Error("unknown series accepted")
+	}
+	if err := run([]string{"-data", path, "-width", "2"}); err == nil {
+		t.Error("tiny chart accepted")
+	}
+	empty := writePlot(t, "# header only\n")
+	if err := run([]string{"-data", empty}); err == nil {
+		t.Error("empty plot accepted")
+	}
+	malformed := writePlot(t, "1,2,3\n")
+	if err := run([]string{"-data", malformed}); err == nil {
+		t.Error("malformed plot accepted")
+	}
+}
+
+func TestRenderShape(t *testing.T) {
+	samples := []sample{
+		{time: 0, edges: 0},
+		{time: 1, edges: 50},
+		{time: 2, edges: 100},
+	}
+	out := render("edges", samples, func(s sample) float64 { return s.edges }, 20, 5)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header + 5 rows + axis
+	if len(lines) != 7 {
+		t.Fatalf("rendered %d lines, want 7:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "min 0") || !strings.Contains(lines[0], "max 100") {
+		t.Errorf("header missing range: %s", lines[0])
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no data points rendered")
+	}
+}
+
+func TestRenderFlatSeries(t *testing.T) {
+	samples := []sample{{time: 0, edges: 7}, {time: 5, edges: 7}}
+	out := render("edges", samples, func(s sample) float64 { return s.edges }, 16, 4)
+	if !strings.Contains(out, "*") {
+		t.Error("flat series rendered nothing")
+	}
+}
+
+func TestLoadCarriesAllColumns(t *testing.T) {
+	path := writePlot(t, demoPlot)
+	samples, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 4 {
+		t.Fatalf("loaded %d samples", len(samples))
+	}
+	last := samples[3]
+	if last.time != 3 || last.execs != 3000 || last.paths != 14 || last.edges != 230 || last.crashes != 2 {
+		t.Errorf("last sample wrong: %+v", last)
+	}
+}

@@ -1,0 +1,113 @@
+package bigmap_test
+
+import (
+	"fmt"
+
+	"github.com/bigmap/bigmap"
+)
+
+// ExampleNewBigMap demonstrates the two-level update of the paper's
+// Figure 4: scattered coverage keys condense into sequential slots.
+func ExampleNewBigMap() {
+	m, err := bigmap.NewBigMap(bigmap.MapSize64K)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	// Three scattered keys (edge IDs) arrive in this order.
+	for _, key := range []uint32{51234, 7, 30000, 7} {
+		m.Add(key)
+	}
+	fmt.Println("used_key:", m.UsedKeys())
+	fmt.Println("slot of 51234:", m.SlotForKey(51234))
+	fmt.Println("slot of 7:", m.SlotForKey(7))
+	fmt.Println("slot of 30000:", m.SlotForKey(30000))
+	// Output:
+	// used_key: 3
+	// slot of 51234: 0
+	// slot of 7: 1
+	// slot of 30000: 2
+}
+
+// ExampleCollisionRate reproduces Table II's sqlite3 collision rate from
+// Equation 1.
+func ExampleCollisionRate() {
+	rate, err := bigmap.CollisionRate(bigmap.MapSize64K, 40948)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("%.2f%%\n", rate*100)
+	// Output:
+	// 25.64%
+}
+
+// ExampleClassifyByte shows AFL's hit-count bucketing (§II-A2).
+func ExampleClassifyByte() {
+	for _, count := range []byte{1, 2, 3, 5, 20, 200} {
+		fmt.Printf("count %3d -> bucket bit %#02x\n", count, bigmap.ClassifyByte(count))
+	}
+	// Output:
+	// count   1 -> bucket bit 0x01
+	// count   2 -> bucket bit 0x02
+	// count   3 -> bucket bit 0x04
+	// count   5 -> bucket bit 0x08
+	// count  20 -> bucket bit 0x20
+	// count 200 -> bucket bit 0x80
+}
+
+// ExampleNewFuzzer runs a miniature campaign end to end.
+func ExampleNewFuzzer() {
+	prog, err := bigmap.Generate(bigmap.GenSpec{
+		Name: "example", Seed: 3,
+		NumFuncs: 2, BlocksPerFunc: 8, InputLen: 16,
+		BranchFraction: 0.5,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	f, err := bigmap.NewFuzzer(prog,
+		bigmap.WithScheme(bigmap.SchemeBigMap),
+		bigmap.WithMapSize(bigmap.MapSize64K),
+		bigmap.WithSeed(1),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, s := range bigmap.SynthesizeSeeds(prog, 1, 2) {
+		if err := f.AddSeed(s); err != nil {
+			fmt.Println(err)
+			return
+		}
+	}
+	if err := f.RunExecs(2000); err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("ran at least 2000 execs:", f.Stats().Execs >= 2000)
+	fmt.Println("discovered coverage:", f.Stats().EdgesDiscovered > 0)
+	// Output:
+	// ran at least 2000 execs: true
+	// discovered coverage: true
+}
+
+// ExampleLafIntel shows the comparison-splitting transformation.
+func ExampleLafIntel() {
+	prog, err := bigmap.Generate(bigmap.GenSpec{
+		Name: "laf-example", Seed: 5,
+		NumFuncs: 1, BlocksPerFunc: 8, InputLen: 16,
+		MagicCompares: 2, MagicWidth: 4,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	_, stats := bigmap.LafIntel(prog, 1)
+	fmt.Println("compares split:", stats.SplitCompares)
+	fmt.Println("edges amplified:", stats.StaticEdgesAfter > stats.StaticEdgesBefore)
+	// Output:
+	// compares split: 2
+	// edges amplified: true
+}

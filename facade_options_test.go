@@ -1,0 +1,80 @@
+package bigmap_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/bigmap/bigmap"
+)
+
+// TestAllOptionsCompose exercises every functional option end to end.
+func TestAllOptionsCompose(t *testing.T) {
+	prog := smallProgram(t)
+	f, err := bigmap.NewFuzzer(prog,
+		bigmap.WithScheme(bigmap.SchemeBigMap),
+		bigmap.WithMapSize(bigmap.MapSize256K),
+		bigmap.WithSeed(99),
+		bigmap.WithContextMetric(),
+		bigmap.WithTimings(),
+		bigmap.WithSplitClassifyCompare(),
+		bigmap.WithDictionary([][]byte{[]byte("tok")}),
+		bigmap.WithExecBudget(1<<20),
+		bigmap.WithExecCostFactor(1),
+		bigmap.WithPowerSchedule("fast"),
+		bigmap.WithCmpLog(),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range bigmap.SynthesizeSeeds(prog, 1, 4) {
+		_ = f.AddSeed(s)
+	}
+	if f.Queue().Len() == 0 {
+		t.Fatal("no seeds accepted")
+	}
+	if err := f.RunExecs(2000); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.Execs < 2000 {
+		t.Errorf("execs = %d", st.Execs)
+	}
+	tm := st.Timings
+	if tm.Classify == 0 || tm.Compare == 0 {
+		t.Error("split timings not recorded")
+	}
+}
+
+func TestWithDeterministicStagesOption(t *testing.T) {
+	prog := smallProgram(t)
+	f, err := bigmap.NewFuzzer(prog, bigmap.WithDeterministicStages(), bigmap.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range bigmap.SynthesizeSeeds(prog, 2, 2) {
+		_ = f.AddSeed(s)
+	}
+	if f.Queue().Len() == 0 {
+		t.Fatal("no seeds")
+	}
+	if err := f.RunFor(200 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if f.Stats().Execs == 0 {
+		t.Error("RunFor executed nothing")
+	}
+}
+
+func TestWithNGramRejectsBadN(t *testing.T) {
+	prog := smallProgram(t)
+	if _, err := bigmap.NewFuzzer(prog, bigmap.WithNGram(1)); err == nil {
+		t.Error("ngram n=1 accepted")
+	}
+}
+
+func TestWithPowerScheduleRejectsBogus(t *testing.T) {
+	prog := smallProgram(t)
+	if _, err := bigmap.NewFuzzer(prog, bigmap.WithPowerSchedule("bogus")); err == nil {
+		t.Error("bogus schedule accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package bigmap_test
+
+import (
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"github.com/bigmap/bigmap"
+)
+
+func TestFacadeSessionRoundTrip(t *testing.T) {
+	prog := smallProgram(t)
+	dir := t.TempDir()
+
+	session, err := bigmap.NewSession(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer session.Close()
+
+	f, err := bigmap.NewFuzzer(prog, bigmap.WithSeed(21), bigmap.WithScheme(bigmap.SchemeBigMap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range bigmap.SynthesizeSeeds(prog, 5, 4) {
+		_ = f.AddSeed(s)
+	}
+	if f.Queue().Len() == 0 {
+		t.Fatal("no seeds")
+	}
+	if err := f.RunExecs(3000); err != nil {
+		t.Fatal(err)
+	}
+	if err := session.SaveQueue(f.Queue().Entries()); err != nil {
+		t.Fatal(err)
+	}
+	if err := session.WriteStats(f.Stats(), "bigmap", bigmap.MapSize64K); err != nil {
+		t.Fatal(err)
+	}
+
+	corpus, err := bigmap.LoadCorpus(filepath.Join(dir, "queue"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(corpus) != f.Queue().Len() {
+		t.Errorf("corpus round trip: %d != %d", len(corpus), f.Queue().Len())
+	}
+}
+
+func TestFacadeCoverageReport(t *testing.T) {
+	prog := smallProgram(t)
+	cov := bigmap.NewCoverageReport(prog, 0)
+	cov.AddCorpus(bigmap.SynthesizeSeeds(prog, 3, 5))
+	if cov.Edges() == 0 || cov.Blocks() == 0 {
+		t.Error("exact coverage empty")
+	}
+	total, _, _ := cov.Inputs()
+	if total != 5 {
+		t.Errorf("inputs = %d", total)
+	}
+}
+
+func TestFacadeMinimizer(t *testing.T) {
+	prog := smallProgram(t)
+	m := bigmap.NewMinimizer(prog, 0, 0)
+	if _, _, err := m.Minimize(make([]byte, 32)); !errors.Is(err, bigmap.ErrNotACrash) {
+		t.Errorf("benign input: err = %v, want ErrNotACrash", err)
+	}
+}

@@ -1,0 +1,3 @@
+module github.com/bigmap/bigmap
+
+go 1.22

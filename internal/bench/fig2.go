@@ -1,0 +1,39 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/bigmap/bigmap/internal/collision"
+)
+
+// Fig2Sizes and Fig2Keys are the axes of the paper's Figure 2.
+var (
+	Fig2Sizes = []int{64 << 10, 128 << 10, 256 << 10, 512 << 10,
+		1 << 20, 2 << 20, 4 << 20, 8 << 20, 16 << 20, 32 << 20}
+	Fig2Keys = []int{5000, 10000, 20000, 50000, 100000, 200000, 500000, 1000000}
+)
+
+// Fig2 regenerates Figure 2: collision rate (percent) as a function of
+// bitmap size, one series per key count, straight from Equation 1.
+func Fig2() (*Table, error) {
+	t := &Table{
+		Title: "Figure 2: hash collision rate (%) vs bitmap size (Equation 1)",
+		Notes: []string{"rows: number of keys drawn; columns: bitmap size"},
+	}
+	t.Header = append(t.Header, "keys")
+	for _, h := range Fig2Sizes {
+		t.Header = append(t.Header, fmtSize(h))
+	}
+	for _, n := range Fig2Keys {
+		row := []string{fmtCount(n)}
+		for _, h := range Fig2Sizes {
+			rate, err := collision.Rate(h, n)
+			if err != nil {
+				return nil, fmt.Errorf("rate(%d,%d): %w", h, n, err)
+			}
+			row = append(row, fmtFloat(rate*100, 2))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}

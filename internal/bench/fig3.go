@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/bigmap/bigmap/internal/fuzzer"
+	"github.com/bigmap/bigmap/internal/target"
+)
+
+// Fig3Benchmarks is the benchmark set of the paper's Figure 3.
+var Fig3Benchmarks = []string{"libpng", "sqlite3", "gvn", "bloaty", "openssl", "php"}
+
+// Fig3Sizes is the map-size sweep of Figure 3.
+var Fig3Sizes = []int{64 << 10, 2 << 20, 8 << 20}
+
+// Fig3 regenerates Figure 3: the per-phase runtime composition of a vanilla
+// AFL (flat map, split classify/compare) fuzzing run as the map grows. The
+// paper reports hours per one million test cases; we run opts.ExecsPerRun
+// cases and normalize to the per-million figure.
+func Fig3(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	names := opts.Benchmarks
+	if len(names) == 0 {
+		names = Fig3Benchmarks
+	}
+	profiles, err := selectProfiles(target.Profiles(), names)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title: "Figure 3: runtime composition with varying bitmap sizes (AFL scheme)",
+		Notes: []string{
+			fmt.Sprintf("seconds per 1M test cases, measured over %d execs at scale %g",
+				opts.ExecsPerRun, opts.Scale),
+			"paper shape: map operations dominate for 2M/8M maps",
+		},
+		Header: []string{"benchmark", "map", "execution", "classify", "compare", "reset", "hash", "total"},
+	}
+
+	for _, p := range profiles {
+		b, err := prepare(p, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, size := range Fig3Sizes {
+			f, err := fuzzer.New(b.prog, fuzzer.Config{
+				Scheme:               fuzzer.SchemeAFL,
+				MapSize:              size,
+				Seed:                 opts.Seed,
+				ExecCostFactor:       b.costFactor,
+				TrackTimings:         true,
+				SplitClassifyCompare: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := addSeeds(f, b.seeds); err != nil {
+				return nil, err
+			}
+			if err := f.RunExecs(opts.ExecsPerRun); err != nil {
+				return nil, err
+			}
+			st := f.Stats()
+			perM := 1e6 / float64(st.Execs)
+			sec := func(d float64) string { return fmtFloat(d*perM, 1) }
+			tm := st.Timings
+			t.AddRow(p.Name, fmtSize(size),
+				sec(tm.Execution.Seconds()),
+				sec(tm.Classify.Seconds()),
+				sec(tm.Compare.Seconds()),
+				sec(tm.Reset.Seconds()),
+				sec(tm.Hash.Seconds()),
+				sec(tm.Total().Seconds()),
+			)
+			opts.progressf("  fig3 %-12s %-4s done (%d execs)\n", p.Name, fmtSize(size), st.Execs)
+		}
+	}
+	return t, nil
+}
+
+// addSeeds dry-runs a corpus into a fuzzer, requiring at least one usable
+// seed.
+func addSeeds(f *fuzzer.Fuzzer, seeds [][]byte) error {
+	accepted := 0
+	for _, s := range seeds {
+		if err := f.AddSeed(s); err == nil {
+			accepted++
+		}
+	}
+	if accepted == 0 {
+		return fuzzer.ErrNoSeeds
+	}
+	return nil
+}

@@ -1,0 +1,128 @@
+package cmin
+
+import (
+	"testing"
+
+	"github.com/bigmap/bigmap/internal/covreport"
+	"github.com/bigmap/bigmap/internal/fuzzer"
+	"github.com/bigmap/bigmap/internal/rng"
+	"github.com/bigmap/bigmap/internal/target"
+)
+
+func cminTarget(t *testing.T) *target.Program {
+	t.Helper()
+	prog, err := target.Generate(target.GenSpec{
+		Name:           "cmin",
+		Seed:           71,
+		NumFuncs:       6,
+		BlocksPerFunc:  14,
+		InputLen:       48,
+		BranchFraction: 0.6,
+		Switches:       2,
+		SwitchFanout:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestMinimizePreservesCoverage(t *testing.T) {
+	prog := cminTarget(t)
+
+	// Build a redundant corpus by fuzzing briefly: queue entries plus many
+	// duplicated seeds.
+	f, err := fuzzer.New(prog, fuzzer.Config{Seed: 1, Scheme: fuzzer.SchemeBigMap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(2)
+	for _, s := range prog.SampleSeeds(src, 6) {
+		_ = f.AddSeed(s)
+	}
+	if err := f.RunExecs(8000); err != nil {
+		t.Fatal(err)
+	}
+	var corpus [][]byte
+	for _, e := range f.Queue().Entries() {
+		corpus = append(corpus, e.Input)
+		corpus = append(corpus, e.Input) // duplicate on purpose
+	}
+
+	res := Minimize(prog, corpus, 0)
+	if res.EdgesAfter != res.EdgesBefore {
+		t.Errorf("coverage lost: %d -> %d edges", res.EdgesBefore, res.EdgesAfter)
+	}
+	if len(res.Kept) >= len(corpus) {
+		t.Errorf("kept %d of %d inputs; nothing minimized", len(res.Kept), len(corpus))
+	}
+	// No index may repeat.
+	seen := map[int]bool{}
+	for _, k := range res.Kept {
+		if seen[k] {
+			t.Fatalf("index %d kept twice", k)
+		}
+		seen[k] = true
+	}
+
+	// Re-measure the kept subset independently.
+	cov := covreport.New(prog, 0)
+	for _, k := range res.Kept {
+		cov.Add(corpus[k])
+	}
+	if cov.Edges() != res.EdgesBefore {
+		t.Errorf("kept subset covers %d edges, want %d", cov.Edges(), res.EdgesBefore)
+	}
+}
+
+func TestMinimizeDropsExactDuplicates(t *testing.T) {
+	prog := cminTarget(t)
+	in := make([]byte, 48)
+	corpus := [][]byte{in, in, in, in}
+	res := Minimize(prog, corpus, 0)
+	if len(res.Kept) != 1 {
+		t.Errorf("kept %d of 4 identical inputs", len(res.Kept))
+	}
+}
+
+func TestMinimizeEmptyCorpus(t *testing.T) {
+	prog := cminTarget(t)
+	res := Minimize(prog, nil, 0)
+	if len(res.Kept) != 0 || res.EdgesBefore != 0 {
+		t.Errorf("empty corpus minimized to %+v", res)
+	}
+}
+
+func TestMinimizeDeterministic(t *testing.T) {
+	prog := cminTarget(t)
+	src := rng.New(9)
+	corpus := prog.SampleSeeds(src, 20)
+	a := Minimize(prog, corpus, 0)
+	b := Minimize(prog, corpus, 0)
+	if len(a.Kept) != len(b.Kept) {
+		t.Fatal("non-deterministic selection size")
+	}
+	for i := range a.Kept {
+		if a.Kept[i] != b.Kept[i] {
+			t.Fatal("non-deterministic selection order")
+		}
+	}
+}
+
+func TestMinimizePrefersSmallInputs(t *testing.T) {
+	// Two inputs with identical coverage but different sizes: the smaller
+	// must win.
+	prog := &target.Program{
+		Name:     "small-pref",
+		InputLen: 8,
+		Funcs: []target.Func{{Blocks: []target.Block{
+			{ID: 1, Cost: 1, Node: target.Node{Kind: target.KindJump, A: 1}},
+			{ID: 2, Cost: 1, Node: target.Node{Kind: target.KindReturn}},
+		}}},
+	}
+	corpus := [][]byte{make([]byte, 100), make([]byte, 4)}
+	res := Minimize(prog, corpus, 0)
+	if len(res.Kept) != 1 || res.Kept[0] != 1 {
+		t.Errorf("kept %v, want the 4-byte input (index 1)", res.Kept)
+	}
+}

@@ -1,0 +1,99 @@
+// Package cmplog implements RedQueen-style input-to-state mutation over the
+// synthetic target's compare hook: run an input once while recording every
+// failed comparison, then synthesize targeted mutants that patch the wanted
+// operand bytes into the input at the compared position.
+//
+// This is the modern alternative to laf-intel for defeating magic-value
+// roadblocks (the paper's related work cites CompareCoverage [34] as another
+// source of map pressure; AFL++ ships both approaches). Where laf-intel
+// multiplies edges so plain mutation gets incremental feedback, cmplog
+// solves the comparison in one shot and leaves the map pressure unchanged —
+// the two compose with BigMap equally well, and the roadblocks experiment in
+// the bench harness compares all three.
+//
+// Caveat recorded in DESIGN.md: the synthetic IR exposes the exact input
+// position of every comparison, so this package gets perfect "colorization"
+// for free; real RedQueen must infer positions by tainting/patterns. The
+// strength of the technique is therefore an upper bound here.
+package cmplog
+
+import (
+	"github.com/bigmap/bigmap/internal/target"
+)
+
+// DefaultMaxTargets bounds how many failed comparisons one collection run
+// keeps (deduplicated by position+value).
+const DefaultMaxTargets = 256
+
+// Patch is one input-to-state candidate mutation: write Width bytes of Val
+// (little-endian) at Pos.
+type Patch struct {
+	Pos   int
+	Val   uint64
+	Width int
+}
+
+// Collector gathers failed comparisons from executions. Not safe for
+// concurrent use.
+type Collector struct {
+	interp *target.Interp
+	budget uint64
+	max    int
+	seen   map[Patch]struct{}
+	out    []Patch
+}
+
+// NewCollector creates a collector for prog. budget is the per-execution
+// cycle budget (0 = 1<<22); maxTargets caps the collected set (0 =
+// DefaultMaxTargets).
+func NewCollector(prog *target.Program, budget uint64, maxTargets int) *Collector {
+	if budget == 0 {
+		budget = 1 << 22
+	}
+	if maxTargets == 0 {
+		maxTargets = DefaultMaxTargets
+	}
+	c := &Collector{
+		interp: target.NewInterp(prog),
+		budget: budget,
+		max:    maxTargets,
+		seen:   make(map[Patch]struct{}),
+	}
+	return c
+}
+
+// Collect replays input and returns the deduplicated failed comparisons, in
+// first-observed order. The slice is reused by the next Collect call.
+func (c *Collector) Collect(input []byte) []Patch {
+	c.out = c.out[:0]
+	clear(c.seen)
+	c.interp.SetCompareHook(func(cmp target.Compare) {
+		if len(c.out) >= c.max {
+			return
+		}
+		p := Patch{Pos: cmp.Pos, Val: cmp.Val, Width: cmp.Width}
+		if _, dup := c.seen[p]; dup {
+			return
+		}
+		c.seen[p] = struct{}{}
+		c.out = append(c.out, p)
+	})
+	c.interp.Run(input, target.NopTracer{}, c.budget)
+	c.interp.SetCompareHook(nil)
+	return c.out
+}
+
+// Apply materializes a patch as a new input. The input grows if the patch
+// extends past its end (a comparison read zero-padding there).
+func Apply(input []byte, p Patch) []byte {
+	n := len(input)
+	if p.Pos+p.Width > n {
+		n = p.Pos + p.Width
+	}
+	out := make([]byte, n)
+	copy(out, input)
+	for w := 0; w < p.Width; w++ {
+		out[p.Pos+w] = byte(p.Val >> (8 * w))
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+package cmplog
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/bigmap/bigmap/internal/target"
+)
+
+// magicProgram gates a bonus region behind a 4-byte magic compare and a
+// switch.
+func magicProgram() *target.Program {
+	return &target.Program{
+		Name:     "cmplog",
+		InputLen: 16,
+		Funcs: []target.Func{{Blocks: []target.Block{
+			{ID: 1, Cost: 1, Node: target.Node{Kind: target.KindCompareWord, Pos: 0, Val: 0x44434241, Width: 4, A: 1, B: 2}},
+			{ID: 2, Cost: 1, Node: target.Node{Kind: target.KindJump, A: 2}},
+			{ID: 3, Cost: 1, Node: target.Node{Kind: target.KindSwitch, Pos: 8, B: 4, Cases: []target.SwitchCase{
+				{Value: 'p', Target: 3},
+				{Value: 'q', Target: 4},
+			}}},
+			{ID: 4, Cost: 1, Node: target.Node{Kind: target.KindJump, A: 4}},
+			{ID: 5, Cost: 1, Node: target.Node{Kind: target.KindReturn}},
+		}}},
+	}
+}
+
+func TestCollectReportsFailedCompares(t *testing.T) {
+	c := NewCollector(magicProgram(), 0, 0)
+	patches := c.Collect(make([]byte, 16))
+	// The word compare fails (1 patch) and the switch falls through (2
+	// case patches).
+	if len(patches) != 3 {
+		t.Fatalf("collected %d patches, want 3: %+v", len(patches), patches)
+	}
+	if patches[0].Pos != 0 || patches[0].Width != 4 || patches[0].Val != 0x44434241 {
+		t.Errorf("word patch wrong: %+v", patches[0])
+	}
+	if patches[1].Pos != 8 || patches[1].Val != 'p' {
+		t.Errorf("switch patch wrong: %+v", patches[1])
+	}
+}
+
+func TestCollectStopsAtSolvedCompares(t *testing.T) {
+	c := NewCollector(magicProgram(), 0, 0)
+	// Input that already passes the magic compare: only the switch fails.
+	in := []byte{'A', 'B', 'C', 'D', 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}
+	patches := c.Collect(in)
+	if len(patches) != 2 {
+		t.Fatalf("collected %d patches, want 2 (switch cases): %+v", len(patches), patches)
+	}
+}
+
+func TestCollectDeduplicates(t *testing.T) {
+	// A self-loop repeating the same failed compare must report it once.
+	prog := &target.Program{
+		Name:     "dup",
+		InputLen: 8,
+		Funcs: []target.Func{{Blocks: []target.Block{
+			{ID: 1, Cost: 1, Node: target.Node{Kind: target.KindCompareByte, Pos: 0, Val: 'z', A: 1, B: 1}},
+			{ID: 2, Cost: 1, Node: target.Node{Kind: target.KindCompareByte, Pos: 0, Val: 'z', A: 2, B: 2}},
+			{ID: 3, Cost: 1, Node: target.Node{Kind: target.KindReturn}},
+		}}},
+	}
+	c := NewCollector(prog, 0, 0)
+	patches := c.Collect(make([]byte, 8))
+	if len(patches) != 1 {
+		t.Fatalf("collected %d patches, want 1 deduplicated: %+v", len(patches), patches)
+	}
+}
+
+func TestCollectRespectsCap(t *testing.T) {
+	blocks := make([]target.Block, 0, 40)
+	for i := 0; i < 32; i++ {
+		blocks = append(blocks, target.Block{
+			ID: uint32(i + 1), Cost: 1,
+			Node: target.Node{Kind: target.KindCompareByte, Pos: i % 8, Val: uint64(100 + i), A: i + 1, B: i + 1},
+		})
+	}
+	blocks = append(blocks, target.Block{ID: 99, Cost: 1, Node: target.Node{Kind: target.KindReturn}})
+	prog := &target.Program{Name: "cap", InputLen: 8, Funcs: []target.Func{{Blocks: blocks}}}
+
+	c := NewCollector(prog, 0, 5)
+	if got := len(c.Collect(make([]byte, 8))); got != 5 {
+		t.Errorf("collected %d patches with cap 5", got)
+	}
+}
+
+func TestApply(t *testing.T) {
+	in := []byte{1, 2, 3, 4}
+	out := Apply(in, Patch{Pos: 1, Val: 0xBBAA, Width: 2})
+	if !bytes.Equal(out, []byte{1, 0xAA, 0xBB, 4}) {
+		t.Errorf("Apply = %v", out)
+	}
+	// The original is untouched.
+	if !bytes.Equal(in, []byte{1, 2, 3, 4}) {
+		t.Error("Apply mutated its input")
+	}
+	// Patches past the end grow the input.
+	out = Apply(in, Patch{Pos: 6, Val: 0xFF, Width: 1})
+	if len(out) != 7 || out[6] != 0xFF || out[4] != 0 {
+		t.Errorf("growing Apply = %v", out)
+	}
+}
+
+func TestApplySolvesTheMagic(t *testing.T) {
+	prog := magicProgram()
+	c := NewCollector(prog, 0, 0)
+	in := make([]byte, 16)
+	patches := c.Collect(in)
+	solved := Apply(in, patches[0])
+
+	// After applying the word patch the compare passes: collecting again
+	// must no longer report it.
+	again := c.Collect(solved)
+	for _, p := range again {
+		if p.Pos == 0 && p.Width == 4 {
+			t.Fatalf("magic compare still failing after patch: %+v", again)
+		}
+	}
+}

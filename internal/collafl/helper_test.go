@@ -1,0 +1,19 @@
+package collafl
+
+import (
+	"github.com/bigmap/bigmap/internal/core"
+	"github.com/bigmap/bigmap/internal/fuzzer"
+	"github.com/bigmap/bigmap/internal/target"
+)
+
+// newFuzzer builds a BigMap fuzzer keyed by the CollAFL assignment.
+func newFuzzer(prog *target.Program, a *Assignment) (*fuzzer.Fuzzer, error) {
+	return fuzzer.New(prog, fuzzer.Config{
+		Scheme:  fuzzer.SchemeBigMap,
+		MapSize: a.MapSize(),
+		Seed:    11,
+		Metric: func(int) (core.Metric, error) {
+			return a.NewMetric(), nil
+		},
+	})
+}

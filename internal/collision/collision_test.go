@@ -1,0 +1,163 @@
+package collision
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/bigmap/bigmap/internal/rng"
+)
+
+func TestRateRejectsBadArgs(t *testing.T) {
+	for _, args := range [][2]int{{0, 5}, {5, 0}, {-1, 5}, {5, -1}} {
+		if _, err := Rate(args[0], args[1]); !errors.Is(err, ErrBadArgs) {
+			t.Errorf("Rate(%d,%d) err = %v, want ErrBadArgs", args[0], args[1], err)
+		}
+	}
+}
+
+func TestRateKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		h, n int
+		want float64
+		tol  float64
+	}{
+		// n=1 can never collide.
+		{"single-draw", 65536, 1, 0, 1e-12},
+		// The paper's Table II: sqlite3 has ~40,948 discovered edges and a
+		// reported 25.64% collision rate on a 64kB map.
+		{"sqlite3-64k", 65536, 40948, 0.2564, 0.005},
+		// zlib: 722 edges, 0.55%.
+		{"zlib-64k", 65536, 722, 0.0055, 0.0005},
+		// instcombine: 131,677 edges, 56.90%.
+		{"instcombine-64k", 65536, 131677, 0.5690, 0.005},
+		// php: 20,260 edges, 13.98%.
+		{"php-64k", 65536, 20260, 0.1398, 0.002},
+		// Large map drives the rate toward zero.
+		{"instcombine-8M", 8 << 20, 131677, 0.0078, 0.001},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Rate(tt.h, tt.n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tt.want) > tt.tol {
+				t.Errorf("Rate(%d,%d) = %.4f, want %.4f +/- %.4f", tt.h, tt.n, got, tt.want, tt.tol)
+			}
+		})
+	}
+}
+
+func TestRateMonotoneInN(t *testing.T) {
+	prev := -1.0
+	for _, n := range []int{100, 1000, 10000, 100000, 1000000} {
+		got, err := Rate(65536, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got < prev {
+			t.Fatalf("rate decreased as n grew: %v at n=%d", got, n)
+		}
+		prev = got
+	}
+}
+
+func TestRateMonotoneDecreasingInH(t *testing.T) {
+	prev := 2.0
+	for _, h := range []int{1 << 16, 1 << 18, 1 << 21, 1 << 23, 1 << 25} {
+		got, err := Rate(h, 50000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got > prev {
+			t.Fatalf("rate increased as H grew: %v at H=%d", got, h)
+		}
+		prev = got
+	}
+}
+
+func TestRateBounds(t *testing.T) {
+	property := func(h16, n16 uint16) bool {
+		h := int(h16) + 1
+		n := int(n16) + 1
+		r, err := Rate(h, n)
+		if err != nil {
+			return false
+		}
+		return r >= 0 && r < 1
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBirthdayParagraphFromPaper(t *testing.T) {
+	// §III: "the probability of having at least one collision is ~50% after
+	// assigning only 300 IDs" to a 64k map.
+	p, err := BirthdayProbability(65536, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p < 0.45 || p > 0.55 {
+		t.Errorf("BirthdayProbability(64k, 300) = %.3f, want ~0.50", p)
+	}
+
+	n, err := KeysForProbability(65536, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 280 || n > 330 {
+		t.Errorf("KeysForProbability(64k, 0.5) = %d, want ~300", n)
+	}
+}
+
+func TestBirthdayPigeonhole(t *testing.T) {
+	p, err := BirthdayProbability(10, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != 1 {
+		t.Errorf("n > H must guarantee a collision, got %v", p)
+	}
+}
+
+func TestMeasurePaperExample(t *testing.T) {
+	// §II-B: keys {4, 2, 5, 3, 2} have collision rate 1/5 (not 2/5).
+	got := Measure([]uint32{4, 2, 5, 3, 2})
+	if got != 0.2 {
+		t.Errorf("Measure = %v, want 0.2", got)
+	}
+}
+
+func TestMeasureEdgeCases(t *testing.T) {
+	if got := Measure(nil); got != 0 {
+		t.Errorf("Measure(nil) = %v", got)
+	}
+	if got := Measure([]uint32{7}); got != 0 {
+		t.Errorf("Measure(single) = %v", got)
+	}
+	if got := Measure([]uint32{7, 7, 7, 7}); got != 0.75 {
+		t.Errorf("Measure(all same) = %v, want 0.75", got)
+	}
+}
+
+func TestEmpiricalMatchesAnalytical(t *testing.T) {
+	// Drawing uniformly at random, the measured rate should approach Eq. 1.
+	src := rng.New(1234)
+	const h, n = 4096, 8192
+	keys := make([]uint32, n)
+	for i := range keys {
+		keys[i] = uint32(src.Intn(h))
+	}
+	want, err := Rate(h, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Measure(keys)
+	if math.Abs(got-want) > 0.02 {
+		t.Errorf("empirical %.4f vs analytical %.4f differ by > 0.02", got, want)
+	}
+}

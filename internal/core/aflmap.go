@@ -1,0 +1,213 @@
+package core
+
+// AFLMap is the single-level coverage bitmap used by vanilla AFL: one byte of
+// hit-count storage per coverage key. Updates are O(1) but every other map
+// operation (reset, classify, compare, hash) must traverse the entire bitmap,
+// which is what makes large maps expensive (paper §III-A).
+type AFLMap struct {
+	bits []byte
+}
+
+var _ Map = (*AFLMap)(nil)
+
+// NewAFLMap creates a flat coverage map with the given hash-space size, which
+// must be a positive power of two (e.g. MapSize64K).
+func NewAFLMap(size int) (*AFLMap, error) {
+	if !validSize(size) {
+		return nil, ErrBadMapSize
+	}
+	return &AFLMap{bits: make([]byte, size)}, nil
+}
+
+// Size returns the hash space size.
+func (m *AFLMap) Size() int { return len(m.bits) }
+
+// Scheme returns "afl".
+func (m *AFLMap) Scheme() string { return "afl" }
+
+// UsedKeys returns Size(): the flat scheme has no notion of a used region,
+// every operation touches all slots.
+func (m *AFLMap) UsedKeys() int { return len(m.bits) }
+
+// Add increments the hit count for key, saturating at 255 so that a wrapped
+// counter cannot masquerade as "edge not hit".
+func (m *AFLMap) Add(key uint32) {
+	b := m.bits[key]
+	if b < 255 {
+		m.bits[key] = b + 1
+	}
+}
+
+// Reset wipes the whole bitmap. This is the memset AFL performs before every
+// test case.
+func (m *AFLMap) Reset() {
+	clear(m.bits)
+}
+
+// Classify converts exact hit counts to bucket bits in place, traversing the
+// full map. Like AFL's classify_counts, it skips zero regions a word at a
+// time: the map is sparse, so most iterations are a single 8-byte load and
+// compare.
+func (m *AFLMap) Classify() {
+	bits := m.bits
+	i := 0
+	for ; i+8 <= len(bits); i += 8 {
+		if loadWord(bits[i:]) == 0 {
+			continue
+		}
+		for j := i; j < i+8; j++ {
+			if b := bits[j]; b != 0 {
+				bits[j] = classifyLookup[b]
+			}
+		}
+	}
+	for ; i < len(bits); i++ {
+		if b := bits[i]; b != 0 {
+			bits[i] = classifyLookup[b]
+		}
+	}
+}
+
+// CompareWith implements AFL's has_new_bits over the full map: any trace byte
+// that still has bits set in the virgin map is new coverage; hitting a fully
+// virgin byte (0xFF) means a brand-new edge rather than just a new bucket.
+func (m *AFLMap) CompareWith(virgin *Virgin) Verdict {
+	verdict := VerdictNone
+	bits, vb := m.bits, virgin.bits
+	i := 0
+	for ; i+8 <= len(bits); i += 8 {
+		if loadWord(bits[i:]) == 0 {
+			continue
+		}
+		verdict = compareBytes(bits[i:i+8], vb[i:i+8], verdict)
+	}
+	if i < len(bits) {
+		verdict = compareBytes(bits[i:], vb[i:], verdict)
+	}
+	return verdict
+}
+
+// compareBytes applies the per-byte has_new_bits step to a small span and
+// folds the result into verdict.
+func compareBytes(trace, virgin []byte, verdict Verdict) Verdict {
+	for j, t := range trace {
+		if t == 0 {
+			continue
+		}
+		v := virgin[j]
+		if t&v == 0 {
+			continue
+		}
+		if v == 0xFF {
+			verdict = VerdictNewEdges
+		} else if verdict < VerdictNewCounts {
+			verdict = VerdictNewCounts
+		}
+		virgin[j] = v &^ t
+	}
+	return verdict
+}
+
+// ClassifyAndCompare performs the merged classify+compare traversal (§IV-E):
+// one pass over the full map instead of two.
+func (m *AFLMap) ClassifyAndCompare(virgin *Virgin) Verdict {
+	verdict := VerdictNone
+	bits, vb := m.bits, virgin.bits
+	i := 0
+	for ; i+8 <= len(bits); i += 8 {
+		if loadWord(bits[i:]) == 0 {
+			continue
+		}
+		verdict = classifyCompareBytes(bits[i:i+8], vb[i:i+8], verdict)
+	}
+	if i < len(bits) {
+		verdict = classifyCompareBytes(bits[i:], vb[i:], verdict)
+	}
+	return verdict
+}
+
+// classifyCompareBytes classifies a small span in place and folds its
+// has_new_bits result into verdict.
+func classifyCompareBytes(trace, virgin []byte, verdict Verdict) Verdict {
+	for j, b := range trace {
+		if b == 0 {
+			continue
+		}
+		t := classifyLookup[b]
+		trace[j] = t
+		v := virgin[j]
+		if t&v == 0 {
+			continue
+		}
+		if v == 0xFF {
+			verdict = VerdictNewEdges
+		} else if verdict < VerdictNewCounts {
+			verdict = VerdictNewCounts
+		}
+		virgin[j] = v &^ t
+	}
+	return verdict
+}
+
+// Hash digests the full bitmap.
+func (m *AFLMap) Hash() uint64 {
+	return hashBytes(m.bits)
+}
+
+// CountNonZero counts keys with non-zero hit counts (AFL's count_bytes),
+// skipping zero words.
+func (m *AFLMap) CountNonZero() int {
+	bits := m.bits
+	n := 0
+	i := 0
+	for ; i+8 <= len(bits); i += 8 {
+		if loadWord(bits[i:]) == 0 {
+			continue
+		}
+		for j := i; j < i+8; j++ {
+			if bits[j] != 0 {
+				n++
+			}
+		}
+	}
+	for ; i < len(bits); i++ {
+		if bits[i] != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// AppendTouched appends the raw keys with non-zero hit counts.
+func (m *AFLMap) AppendTouched(dst []uint32) []uint32 {
+	bits := m.bits
+	i := 0
+	for ; i+8 <= len(bits); i += 8 {
+		if loadWord(bits[i:]) == 0 {
+			continue
+		}
+		for j := i; j < i+8; j++ {
+			if bits[j] != 0 {
+				dst = append(dst, uint32(j))
+			}
+		}
+	}
+	for ; i < len(bits); i++ {
+		if bits[i] != 0 {
+			dst = append(dst, uint32(i))
+		}
+	}
+	return dst
+}
+
+// NewVirgin allocates a full-size virgin map.
+func (m *AFLMap) NewVirgin() *Virgin {
+	return newVirgin(len(m.bits))
+}
+
+// Snapshot returns a copy of the raw bitmap, for tests and debugging.
+func (m *AFLMap) Snapshot() []byte {
+	out := make([]byte, len(m.bits))
+	copy(out, m.bits)
+	return out
+}

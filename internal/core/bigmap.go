@@ -1,0 +1,199 @@
+package core
+
+// BigMap is the paper's adaptive two-level coverage bitmap (§IV). An index
+// bitmap maps each coverage key to a densely packed slot in the coverage
+// bitmap; slots are assigned on first sight from the used_key counter. All
+// per-testcase operations except the update itself traverse only the used
+// region [0..used_key), so their cost depends on how many distinct coverage
+// keys the target has produced rather than on the map's size — the map can be
+// made arbitrarily large to suppress hash collisions at negligible cost.
+//
+// The only full-map work is the one-time initialization of the index bitmap
+// to "unassigned" when the map is created.
+type BigMap struct {
+	index    []int32  // key -> dense slot, -1 when unassigned
+	coverage []byte   // dense hit counters, valid in [0..used)
+	slotKey  []uint32 // dense slot -> key (diagnostic reverse mapping)
+	used     int
+}
+
+var _ Map = (*BigMap)(nil)
+
+// NewBigMap creates a two-level coverage map with the given hash-space size,
+// which must be a positive power of two (e.g. MapSize8M).
+func NewBigMap(size int) (*BigMap, error) {
+	if !validSize(size) {
+		return nil, ErrBadMapSize
+	}
+	m := &BigMap{
+		index:    make([]int32, size),
+		coverage: make([]byte, size),
+	}
+	for i := range m.index {
+		m.index[i] = -1
+	}
+	return m, nil
+}
+
+// Size returns the hash space size.
+func (m *BigMap) Size() int { return len(m.index) }
+
+// Scheme returns "bigmap".
+func (m *BigMap) Scheme() string { return "bigmap" }
+
+// UsedKeys returns used_key: how many distinct coverage keys have been
+// observed since the map was created.
+func (m *BigMap) UsedKeys() int { return m.used }
+
+// Add performs the two-level update from the paper's Listing 2: look the key
+// up in the index bitmap, assigning the next free dense slot on first sight,
+// then increment the dense hit counter (saturating at 255).
+func (m *BigMap) Add(key uint32) {
+	k := m.index[key]
+	if k < 0 {
+		k = int32(m.used)
+		m.index[key] = k
+		m.slotKey = append(m.slotKey, key)
+		m.used++
+	}
+	b := m.coverage[k]
+	if b < 255 {
+		m.coverage[k] = b + 1
+	}
+}
+
+// Reset wipes only the used region of the coverage bitmap. The index bitmap
+// is deliberately untouched: slot assignments persist for the whole campaign
+// so the same edge always lands in the same slot.
+func (m *BigMap) Reset() {
+	clear(m.coverage[:m.used])
+}
+
+// Classify converts exact hit counts to bucket bits in place over the used
+// region only.
+func (m *BigMap) Classify() {
+	cov := m.coverage[:m.used]
+	for i, b := range cov {
+		if b != 0 {
+			cov[i] = classifyLookup[b]
+		}
+	}
+}
+
+// CompareWith implements has_new_bits over the used region. The virgin map
+// shares the dense slot space (slot assignments are stable and monotonic), so
+// comparing [0..used) observes exactly the keys ever seen.
+func (m *BigMap) CompareWith(virgin *Virgin) Verdict {
+	verdict := VerdictNone
+	cov := m.coverage[:m.used]
+	vb := virgin.bits
+	for i, t := range cov {
+		if t == 0 {
+			continue
+		}
+		v := vb[i]
+		if t&v == 0 {
+			continue
+		}
+		if v == 0xFF {
+			verdict = VerdictNewEdges
+		} else if verdict < VerdictNewCounts {
+			verdict = VerdictNewCounts
+		}
+		vb[i] = v &^ t
+	}
+	return verdict
+}
+
+// ClassifyAndCompare performs the merged classify+compare traversal (§IV-E)
+// over the used region.
+func (m *BigMap) ClassifyAndCompare(virgin *Virgin) Verdict {
+	verdict := VerdictNone
+	cov := m.coverage[:m.used]
+	vb := virgin.bits
+	for i, b := range cov {
+		if b == 0 {
+			continue
+		}
+		t := classifyLookup[b]
+		cov[i] = t
+		v := vb[i]
+		if t&v == 0 {
+			continue
+		}
+		if v == 0xFF {
+			verdict = VerdictNewEdges
+		} else if verdict < VerdictNewCounts {
+			verdict = VerdictNewCounts
+		}
+		vb[i] = v &^ t
+	}
+	return verdict
+}
+
+// Hash digests the coverage bitmap up to the last non-zero slot (§IV-D).
+// Hashing a fixed [0..used) prefix would make the digest of a path depend on
+// how many edges other test cases had discovered by the time it ran; clipping
+// at the last non-zero value keeps the digest a function of the path alone.
+func (m *BigMap) Hash() uint64 {
+	cov := m.coverage[:m.used]
+	last := -1
+	for i := len(cov) - 1; i >= 0; i-- {
+		if cov[i] != 0 {
+			last = i
+			break
+		}
+	}
+	return hashBytes(cov[:last+1])
+}
+
+// CountNonZero counts dense slots with non-zero hit counts.
+func (m *BigMap) CountNonZero() int {
+	n := 0
+	for _, b := range m.coverage[:m.used] {
+		if b != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// AppendTouched appends the dense slot indices with non-zero hit counts.
+// Slot identity is stable across executions because the index mapping never
+// changes once assigned.
+func (m *BigMap) AppendTouched(dst []uint32) []uint32 {
+	for i, b := range m.coverage[:m.used] {
+		if b != 0 {
+			dst = append(dst, uint32(i))
+		}
+	}
+	return dst
+}
+
+// NewVirgin allocates a virgin map with one slot per possible dense slot.
+func (m *BigMap) NewVirgin() *Virgin {
+	return newVirgin(len(m.coverage))
+}
+
+// KeyForSlot returns the coverage key that was assigned the given dense slot.
+// It is a diagnostic aid for tests and triage tooling; the fuzzing hot path
+// never needs it.
+func (m *BigMap) KeyForSlot(slot int) (uint32, bool) {
+	if slot < 0 || slot >= m.used {
+		return 0, false
+	}
+	return m.slotKey[slot], true
+}
+
+// SlotForKey returns the dense slot assigned to key, or -1 if the key has
+// never been observed.
+func (m *BigMap) SlotForKey(key uint32) int {
+	return int(m.index[key])
+}
+
+// Snapshot returns a copy of the used region of the coverage bitmap.
+func (m *BigMap) Snapshot() []byte {
+	out := make([]byte, m.used)
+	copy(out, m.coverage[:m.used])
+	return out
+}

@@ -1,0 +1,40 @@
+package core
+
+// AFL converts exact edge hit counts into coarse buckets before comparing a
+// trace against the global coverage state. The buckets are [1], [2], [3],
+// [4-7], [8-15], [16-31], [32-127], [128-255]; each maps to a distinct bit so
+// that the virgin-map compare can detect "same edge, new bucket" with a
+// bitwise AND. classifyLookup is AFL's count_class_lookup8 table.
+var classifyLookup = buildClassifyLookup()
+
+func buildClassifyLookup() [256]byte {
+	var t [256]byte
+	set := func(lo, hi int, v byte) {
+		for i := lo; i <= hi; i++ {
+			t[i] = v
+		}
+	}
+	t[0] = 0
+	t[1] = 1
+	t[2] = 2
+	t[3] = 4
+	set(4, 7, 8)
+	set(8, 15, 16)
+	set(16, 31, 32)
+	set(32, 127, 64)
+	set(128, 255, 128)
+	return t
+}
+
+// ClassifyByte maps an exact hit count (saturated at 255) to its AFL bucket
+// bit. Exposed for tests and for the documentation example in the paper's
+// §II-A.
+func ClassifyByte(count byte) byte {
+	return classifyLookup[count]
+}
+
+// BucketRanges reports the inclusive hit-count ranges of the AFL buckets in
+// ascending order, for documentation and reporting.
+func BucketRanges() [][2]int {
+	return [][2]int{{1, 1}, {2, 2}, {3, 3}, {4, 7}, {8, 15}, {16, 31}, {32, 127}, {128, 255}}
+}

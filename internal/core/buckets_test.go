@@ -1,0 +1,64 @@
+package core
+
+import "testing"
+
+func TestClassifyByte(t *testing.T) {
+	tests := []struct {
+		name     string
+		count    byte
+		wantBits byte
+	}{
+		{"zero", 0, 0},
+		{"one", 1, 1},
+		{"two", 2, 2},
+		{"three", 3, 4},
+		{"four", 4, 8},
+		{"seven", 7, 8},
+		{"eight", 8, 16},
+		{"fifteen", 15, 16},
+		{"sixteen", 16, 32},
+		{"thirtyone", 31, 32},
+		{"thirtytwo", 32, 64},
+		{"onetwentyseven", 127, 64},
+		{"onetwentyeight", 128, 128},
+		{"max", 255, 128},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := ClassifyByte(tt.count); got != tt.wantBits {
+				t.Errorf("ClassifyByte(%d) = %#x, want %#x", tt.count, got, tt.wantBits)
+			}
+		})
+	}
+}
+
+func TestClassifyBucketsArePowersOfTwo(t *testing.T) {
+	// Each non-zero bucket must map to a single distinct bit so the virgin
+	// compare can detect bucket transitions with a bitwise AND.
+	seen := map[byte]bool{}
+	for c := 1; c < 256; c++ {
+		v := ClassifyByte(byte(c))
+		if v == 0 {
+			t.Fatalf("ClassifyByte(%d) = 0 for non-zero count", c)
+		}
+		if v&(v-1) != 0 {
+			t.Fatalf("ClassifyByte(%d) = %#x is not a power of two", c, v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("expected 8 distinct buckets, got %d", len(seen))
+	}
+}
+
+func TestClassifyMonotoneOverRanges(t *testing.T) {
+	// Counts within the same paper bucket must classify identically.
+	for _, r := range BucketRanges() {
+		want := ClassifyByte(byte(r[0]))
+		for c := r[0]; c <= r[1]; c++ {
+			if got := ClassifyByte(byte(c)); got != want {
+				t.Fatalf("count %d in range %v classified %#x, want %#x", c, r, got, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,18 @@
+// Package core implements the paper's primary contribution: coverage bitmaps
+// for greybox fuzzing, in two flavours.
+//
+//   - AFLMap is the classic single-level scheme used by AFL: one byte of
+//     hit-count storage per coverage key, with per-testcase reset, classify,
+//     compare and hash operations that must traverse the entire map.
+//   - BigMap is the paper's adaptive two-level scheme: an index bitmap lazily
+//     maps each observed coverage key to the next free slot of a condensed
+//     coverage bitmap, so every map operation except the update itself only
+//     traverses the used region [0..used_key).
+//
+// Both implement the Map interface, so the fuzzer, executor and benchmark
+// harness are agnostic to the scheme — mirroring the paper's claim that
+// BigMap composes with any coverage metric recorded in a bitmap. The package
+// also provides those metrics (edge hit count, N-gram, context-sensitive
+// edge) as Metric implementations that translate basic-block events into
+// coverage keys.
+package core

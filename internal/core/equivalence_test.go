@@ -1,0 +1,207 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/bigmap/bigmap/internal/rng"
+)
+
+// The two schemes must be semantically interchangeable: for any sequence of
+// executions (each a sequence of coverage keys), both must report identical
+// verdicts, identical touched-edge counts, and identical discovered-edge
+// totals. Only the layout of the statistics differs. These property tests
+// pin that equivalence down with testing/quick.
+
+const equivMapSize = 256
+
+// runExecutions feeds the executions through a fresh map of the given scheme
+// and records per-execution (verdict, nonZero) pairs plus the final
+// discovered count.
+func runExecutions(m Map, execs [][]uint32) (verdicts []Verdict, nonZero []int, discovered int) {
+	virgin := m.NewVirgin()
+	for _, keys := range execs {
+		m.Reset()
+		for _, k := range keys {
+			m.Add(k % equivMapSize)
+		}
+		m.Classify()
+		verdicts = append(verdicts, m.CompareWith(virgin))
+		nonZero = append(nonZero, m.CountNonZero())
+	}
+	return verdicts, nonZero, virgin.CountDiscovered()
+}
+
+func TestSchemesEquivalentUnderQuick(t *testing.T) {
+	property := func(raw [][]uint32) bool {
+		afl, err := NewAFLMap(equivMapSize)
+		if err != nil {
+			return false
+		}
+		big, err := NewBigMap(equivMapSize)
+		if err != nil {
+			return false
+		}
+		v1, n1, d1 := runExecutions(afl, raw)
+		v2, n2, d2 := runExecutions(big, raw)
+		if d1 != d2 {
+			return false
+		}
+		for i := range v1 {
+			if v1[i] != v2[i] || n1[i] != n2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSchemesEquivalentOnDenseWorkload(t *testing.T) {
+	// A longer adversarial run: many executions reusing overlapping key sets
+	// with counts crossing bucket boundaries.
+	src := rng.New(0xb16b00b5)
+	afl, err := NewAFLMap(equivMapSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewBigMap(equivMapSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va := afl.NewVirgin()
+	vb := big.NewVirgin()
+
+	for step := 0; step < 500; step++ {
+		afl.Reset()
+		big.Reset()
+		nKeys := 1 + src.Intn(40)
+		for i := 0; i < nKeys; i++ {
+			key := uint32(src.Intn(equivMapSize))
+			reps := 1 + src.Intn(200)
+			for r := 0; r < reps; r++ {
+				afl.Add(key)
+				big.Add(key)
+			}
+		}
+		afl.Classify()
+		big.Classify()
+		ga := afl.CompareWith(va)
+		gb := big.CompareWith(vb)
+		if ga != gb {
+			t.Fatalf("step %d: verdicts diverged afl=%v bigmap=%v", step, ga, gb)
+		}
+		if afl.CountNonZero() != big.CountNonZero() {
+			t.Fatalf("step %d: nonzero counts diverged", step)
+		}
+		if va.CountDiscovered() != vb.CountDiscovered() {
+			t.Fatalf("step %d: discovered counts diverged", step)
+		}
+	}
+}
+
+func TestBigMapHashPaddingInvariance(t *testing.T) {
+	// Property (the paper's §IV-D guarantee, generalized): within one
+	// campaign, re-executing a path after other executions have grown
+	// used_key must reproduce the path's original digest, because slots
+	// assigned later stay zero and the hash clips at the last non-zero
+	// slot. Discovery order before the path first runs MAY change the
+	// digest (slot layout differs) — that is fine, digests only ever
+	// compare within one map.
+	property := func(path []uint32, extras []uint32) bool {
+		if len(path) == 0 {
+			path = []uint32{1}
+		}
+		m, err := NewBigMap(equivMapSize)
+		if err != nil {
+			return false
+		}
+		run := func(keys []uint32) uint64 {
+			m.Reset()
+			for _, k := range keys {
+				m.Add(k % equivMapSize)
+			}
+			m.Classify()
+			return m.Hash()
+		}
+		h1 := run(path)
+		run(extras) // unrelated executions grow used_key
+		h3 := run(path)
+		return h1 == h3
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRepeatedCompareYieldsNone(t *testing.T) {
+	// Property: once a trace has been compared into the virgin map,
+	// comparing the exact same trace again must report nothing new, for
+	// both schemes.
+	property := func(keys []uint32) bool {
+		if len(keys) == 0 {
+			keys = []uint32{17}
+		}
+		for _, mk := range []func() (Map, error){
+			func() (Map, error) { return NewAFLMap(equivMapSize) },
+			func() (Map, error) { return NewBigMap(equivMapSize) },
+		} {
+			m, err := mk()
+			if err != nil {
+				return false
+			}
+			virgin := m.NewVirgin()
+			run := func() Verdict {
+				m.Reset()
+				for _, k := range keys {
+					m.Add(k % equivMapSize)
+				}
+				m.Classify()
+				return m.CompareWith(virgin)
+			}
+			if run() != VerdictNewEdges {
+				return false
+			}
+			if run() != VerdictNone {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashReproducibleAcrossRuns(t *testing.T) {
+	// Property: re-executing the same key sequence after a reset reproduces
+	// the same digest, for both schemes.
+	property := func(keys []uint32) bool {
+		for _, mk := range []func() (Map, error){
+			func() (Map, error) { return NewAFLMap(equivMapSize) },
+			func() (Map, error) { return NewBigMap(equivMapSize) },
+		} {
+			m, err := mk()
+			if err != nil {
+				return false
+			}
+			run := func() uint64 {
+				m.Reset()
+				for _, k := range keys {
+					m.Add(k % equivMapSize)
+				}
+				m.Classify()
+				return m.Hash()
+			}
+			if run() != run() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import "testing"
+
+// FuzzSchemeEquivalence drives both map schemes with an arbitrary byte
+// string interpreted as a key sequence (with embedded "reset" markers) and
+// asserts they never diverge on verdicts, counts, or discovered totals.
+// Run with `go test -fuzz FuzzSchemeEquivalence ./internal/core`.
+func FuzzSchemeEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 0xFF, 4, 5})
+	f.Add([]byte{0xFF, 0xFF, 0xFF})
+	f.Add(make([]byte, 300))
+
+	f.Fuzz(func(t *testing.T, script []byte) {
+		const size = 256
+		afl, err := NewAFLMap(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		big, err := NewBigMap(size)
+		if err != nil {
+			t.Fatal(err)
+		}
+		va, vb := afl.NewVirgin(), big.NewVirgin()
+
+		flush := func() {
+			afl.Classify()
+			big.Classify()
+			ga := afl.CompareWith(va)
+			gb := big.CompareWith(vb)
+			if ga != gb {
+				t.Fatalf("verdicts diverged: %v vs %v", ga, gb)
+			}
+			if afl.CountNonZero() != big.CountNonZero() {
+				t.Fatalf("nonzero diverged: %d vs %d", afl.CountNonZero(), big.CountNonZero())
+			}
+			afl.Reset()
+			big.Reset()
+		}
+
+		for _, b := range script {
+			if b == 0xFF {
+				// Execution boundary: classify, compare, reset.
+				flush()
+				continue
+			}
+			afl.Add(uint32(b))
+			big.Add(uint32(b))
+		}
+		flush()
+		if va.CountDiscovered() != vb.CountDiscovered() {
+			t.Fatalf("discovered diverged: %d vs %d", va.CountDiscovered(), vb.CountDiscovered())
+		}
+	})
+}
+
+// FuzzBigMapHashStability asserts the §IV-D digest property under arbitrary
+// interleavings: a path's digest never changes once the path has run,
+// regardless of what other executions do to used_key afterwards.
+func FuzzBigMapHashStability(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{9, 8})
+	f.Add([]byte{}, []byte{1})
+	f.Fuzz(func(t *testing.T, path, noise []byte) {
+		if len(path) == 0 {
+			path = []byte{7}
+		}
+		m, err := NewBigMap(256)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func(keys []byte) uint64 {
+			m.Reset()
+			for _, k := range keys {
+				m.Add(uint32(k))
+			}
+			m.Classify()
+			return m.Hash()
+		}
+		h1 := run(path)
+		run(noise)
+		if run(path) != h1 {
+			t.Fatal("digest changed after unrelated executions")
+		}
+	})
+}

@@ -1,0 +1,43 @@
+package core
+
+// fnvOffset and fnvPrime are the FNV-1a 64-bit parameters. AFL hashes its
+// trace bitmap with a 32-bit MurmurHash derivative; any fast, stable digest
+// serves the same purpose (rapid path comparison), so we use FNV-1a 64,
+// which needs no lookup tables and is trivially verifiable in tests.
+const (
+	fnvOffset = 0xcbf29ce484222325
+	fnvPrime  = 0x100000001b3
+)
+
+// loadWord reads 8 bytes of a bitmap as one little-endian word so the map
+// operations can skip zero regions 8 slots at a time, as AFL does with its
+// u64* traversals. p must have at least 8 bytes.
+func loadWord(p []byte) uint64 {
+	_ = p[7] // bounds-check hint
+	return uint64(p[0]) | uint64(p[1])<<8 | uint64(p[2])<<16 | uint64(p[3])<<24 |
+		uint64(p[4])<<32 | uint64(p[5])<<40 | uint64(p[6])<<48 | uint64(p[7])<<56
+}
+
+// hashBytes returns the FNV-1a 64-bit digest of p.
+func hashBytes(p []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, b := range p {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// HashBytes exposes the trace digest for packages that need to hash coverage
+// snapshots the same way the maps do (e.g. crash bucketing in tests).
+func HashBytes(p []byte) uint64 { return hashBytes(p) }
+
+// hashCombine mixes v into h, used by the N-gram and context metrics to fold
+// block IDs together. It is a splitmix64-style finalizer step: cheap and
+// well distributed.
+func hashCombine(h, v uint64) uint64 {
+	h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	return h
+}

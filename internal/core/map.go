@@ -1,0 +1,141 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Common coverage map sizes from the paper's evaluation. Sizes must be powers
+// of two so coverage keys can be masked into range, matching AFL.
+const (
+	MapSize64K  = 1 << 16
+	MapSize256K = 1 << 18
+	MapSize2M   = 1 << 21
+	MapSize8M   = 1 << 23
+)
+
+// ErrBadMapSize is returned when a requested map size is not a positive power
+// of two.
+var ErrBadMapSize = errors.New("core: map size must be a positive power of two")
+
+// Verdict is the result of comparing a classified trace against a virgin map,
+// with AFL's has_new_bits semantics. The zero value means "nothing new".
+type Verdict int
+
+const (
+	// VerdictNone means the trace revealed no new coverage.
+	VerdictNone Verdict = 0
+	// VerdictNewCounts means a previously seen edge hit a new count bucket.
+	VerdictNewCounts Verdict = 1
+	// VerdictNewEdges means at least one never-before-seen edge was hit.
+	VerdictNewEdges Verdict = 2
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case VerdictNone:
+		return "none"
+	case VerdictNewCounts:
+		return "new-counts"
+	case VerdictNewEdges:
+		return "new-edges"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Map records per-testcase coverage statistics keyed by a coverage metric and
+// exposes the per-testcase operations the paper analyses: reset, update
+// (Add), classify, compare, and hash. Implementations are not safe for
+// concurrent use; each fuzzing instance owns its maps.
+type Map interface {
+	// Size returns the hash space H: the number of distinct coverage keys
+	// the map accepts. Keys passed to Add must be < Size.
+	Size() int
+
+	// Add increments the hit count associated with key, saturating at 255.
+	// This is the instrumentation-side "bitmap update" operation.
+	Add(key uint32)
+
+	// Reset clears all hit counts recorded since the previous Reset. The
+	// flat scheme must wipe the whole bitmap; the two-level scheme only
+	// wipes the used region.
+	Reset()
+
+	// Classify converts exact hit counts into AFL bucket bits in place.
+	Classify()
+
+	// CompareWith compares the (already classified) trace against virgin,
+	// clears the discovered bits out of virgin, and reports whether the
+	// trace contained new edges or new count buckets. virgin must have
+	// been created by NewVirgin on a map of identical scheme and size.
+	CompareWith(virgin *Virgin) Verdict
+
+	// ClassifyAndCompare performs Classify and CompareWith in a single
+	// traversal, the merged optimization from the paper's §IV-E.
+	ClassifyAndCompare(virgin *Virgin) Verdict
+
+	// Hash returns a hash of the classified trace, used to deduplicate
+	// execution paths. For the two-level scheme the hash covers the slots
+	// up to the last non-zero value so that it is invariant under
+	// used_key growth (§IV-D).
+	Hash() uint64
+
+	// CountNonZero returns the number of keys with a non-zero hit count in
+	// the current trace (AFL's count_bytes over trace_bits).
+	CountNonZero() int
+
+	// AppendTouched appends the identities of all slots with non-zero hit
+	// counts to dst and returns the extended slice. Identities are stable
+	// for the lifetime of the map (raw keys for the flat scheme, dense
+	// slot indices for the two-level scheme) and are used by the queue
+	// culling logic to track which entry "owns" each piece of coverage.
+	AppendTouched(dst []uint32) []uint32
+
+	// NewVirgin allocates a global-coverage companion map compatible with
+	// this map's scheme and size.
+	NewVirgin() *Virgin
+
+	// UsedKeys reports how many distinct slots the map has ever assigned:
+	// Size() for the flat scheme, used_key for the two-level scheme.
+	UsedKeys() int
+
+	// Scheme names the implementation ("afl" or "bigmap") for reporting.
+	Scheme() string
+}
+
+// Virgin is the global coverage state a trace is compared against. AFL keeps
+// three of these per fuzzer: overall coverage, crash coverage and hang
+// coverage. Bytes start at 0xFF (every bucket bit still undiscovered) and
+// discovered bucket bits are cleared by Map.CompareWith.
+type Virgin struct {
+	bits []byte
+}
+
+func newVirgin(n int) *Virgin {
+	v := &Virgin{bits: make([]byte, n)}
+	for i := range v.bits {
+		v.bits[i] = 0xFF
+	}
+	return v
+}
+
+// CountDiscovered returns the number of slots with at least one discovered
+// bucket bit — the fuzzer's "edges covered so far" statistic.
+func (v *Virgin) CountDiscovered() int {
+	n := 0
+	for _, b := range v.bits {
+		if b != 0xFF {
+			n++
+		}
+	}
+	return n
+}
+
+// Len returns the virgin map's capacity in slots.
+func (v *Virgin) Len() int { return len(v.bits) }
+
+func validSize(size int) bool {
+	return size > 0 && size&(size-1) == 0
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestEdgeMetricDirectionality(t *testing.T) {
+	m, err := NewEdgeMetric(MapSize64K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// E_XY must differ from E_YX (paper §II-A2): the >>1 shift breaks the
+	// XOR symmetry.
+	const bx, by = 0x1234, 0x4321
+
+	m.Begin()
+	m.Visit(bx)
+	exy := m.Visit(by)
+
+	m.Begin()
+	m.Visit(by)
+	eyx := m.Visit(bx)
+
+	if exy == eyx {
+		t.Errorf("E_XY == E_YX == %#x; directionality lost", exy)
+	}
+}
+
+func TestEdgeMetricDistinguishesSelfLoops(t *testing.T) {
+	m, err := NewEdgeMetric(MapSize64K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const bx, by = 0x1111, 0x2222
+
+	m.Begin()
+	m.Visit(bx)
+	exx := m.Visit(bx)
+
+	m.Begin()
+	m.Visit(by)
+	eyy := m.Visit(by)
+
+	if exx == eyy {
+		t.Errorf("E_XX == E_YY == %#x; self-loops indistinct", exx)
+	}
+	if exx == 0 || eyy == 0 {
+		t.Error("self-loop edge key is 0; would alias the entry edge")
+	}
+}
+
+func TestEdgeMetricMasksIntoMap(t *testing.T) {
+	const size = 256
+	m, err := NewEdgeMetric(size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	property := func(blocks []uint32) bool {
+		m.Begin()
+		for _, b := range blocks {
+			if m.Visit(b) >= size {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEdgeMetricDeterministicPerPath(t *testing.T) {
+	m, err := NewEdgeMetric(MapSize64K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := []uint32{5, 9, 5, 5, 100, 9}
+	run := func() []uint32 {
+		m.Begin()
+		out := make([]uint32, 0, len(path))
+		for _, b := range path {
+			out = append(out, m.Visit(b))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("key %d diverged across runs: %#x vs %#x", i, a[i], b[i])
+		}
+	}
+}
+
+func TestNGramMetricRejectsBadArgs(t *testing.T) {
+	if _, err := NewNGramMetric(100, 3); !errors.Is(err, ErrBadMapSize) {
+		t.Errorf("bad size err = %v", err)
+	}
+	if _, err := NewNGramMetric(256, 1); err == nil {
+		t.Error("n=1 accepted")
+	}
+}
+
+func TestNGramMetricWindowOrderMatters(t *testing.T) {
+	m, err := NewNGramMetric(MapSize64K, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	keyOf := func(blocks ...uint32) uint32 {
+		m.Begin()
+		var last uint32
+		for _, b := range blocks {
+			last = m.Visit(b)
+		}
+		return last
+	}
+
+	if keyOf(1, 2, 3) == keyOf(3, 2, 1) {
+		t.Error("ngram key ignores block order")
+	}
+	if keyOf(1, 2, 3) == keyOf(1, 2, 4) {
+		t.Error("ngram key ignores final block")
+	}
+	// The window is bounded at N: only the last 3 blocks matter.
+	if keyOf(9, 1, 2, 3) != keyOf(7, 1, 2, 3) {
+		t.Error("ngram key depends on blocks older than the window")
+	}
+}
+
+func TestNGramMetricDistinguishesMoreThanEdges(t *testing.T) {
+	// Two different 3-block paths ending in the same edge must produce
+	// different ngram keys while producing the same AFL edge key.
+	ng, err := NewNGramMetric(MapSize64K, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ed, err := NewEdgeMetric(MapSize64K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastKey := func(m Metric, blocks ...uint32) uint32 {
+		m.Begin()
+		var last uint32
+		for _, b := range blocks {
+			last = m.Visit(b)
+		}
+		return last
+	}
+	if lastKey(ed, 10, 2, 3) != lastKey(ed, 11, 2, 3) {
+		t.Skip("edge keys differ already; pick different block IDs")
+	}
+	if lastKey(ng, 10, 2, 3) == lastKey(ng, 11, 2, 3) {
+		t.Error("ngram failed to distinguish prefix paths")
+	}
+}
+
+func TestContextMetricDistinguishesCallingContexts(t *testing.T) {
+	m, err := NewContextMetric(MapSize64K)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same edge (5 -> 6) visited under two different callsites.
+	m.Begin()
+	m.EnterCall(111)
+	m.Visit(5)
+	k1 := m.Visit(6)
+	m.LeaveCall()
+
+	m.Begin()
+	m.EnterCall(222)
+	m.Visit(5)
+	k2 := m.Visit(6)
+	m.LeaveCall()
+
+	if k1 == k2 {
+		t.Error("context metric conflated different calling contexts")
+	}
+}
+
+func TestContextMetricLeaveRestoresContext(t *testing.T) {
+	m, err := NewContextMetric(MapSize64K)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	record := func(withNestedCall bool) uint32 {
+		m.Begin()
+		m.Visit(1)
+		if withNestedCall {
+			m.EnterCall(99)
+			m.Visit(50)
+			m.LeaveCall()
+		}
+		// Restore edge chain state to an identical point.
+		m.Visit(1)
+		return m.Visit(2)
+	}
+
+	if record(false) != record(true) {
+		t.Error("LeaveCall did not restore the caller's context")
+	}
+}
+
+func TestContextMetricLeaveOnEmptyStackIsSafe(t *testing.T) {
+	m, err := NewContextMetric(MapSize64K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Begin()
+	m.LeaveCall() // must not panic
+	m.Visit(3)
+}
+
+func TestMetricNames(t *testing.T) {
+	ed, _ := NewEdgeMetric(256)
+	ng, _ := NewNGramMetric(256, 4)
+	cx, _ := NewContextMetric(256)
+	if ed.Name() != "edge" {
+		t.Errorf("edge name = %q", ed.Name())
+	}
+	if ng.Name() != "ngram4" {
+		t.Errorf("ngram name = %q", ng.Name())
+	}
+	if cx.Name() != "ctx-edge" {
+		t.Errorf("ctx name = %q", cx.Name())
+	}
+}

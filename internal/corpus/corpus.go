@@ -1,0 +1,139 @@
+// Package corpus maintains the fuzzer's seed pool: the queue of interesting
+// test cases, their calibration statistics, and AFL's top-rated/favored
+// culling that focuses mutation effort on a minimal covering set of fast,
+// small entries.
+package corpus
+
+import "sort"
+
+// Entry is one queue item. Fields mirror AFL's queue_entry.
+type Entry struct {
+	// Input is the test case bytes. Entries own their input; callers must
+	// not mutate it after Add.
+	Input []byte
+	// Cycles is the calibrated average execution cost (the exec_us
+	// analogue in our virtual-time substrate).
+	Cycles uint64
+	// EdgeCount is the number of coverage slots the entry touches
+	// (AFL's bitmap_size).
+	EdgeCount int
+	// Touched lists the stable identities of the coverage slots the entry
+	// touches, used for top-rated bookkeeping. Sorted ascending.
+	Touched []uint32
+	// PathHash is the classified-trace digest, for path comparison.
+	PathHash uint64
+	// Depth is the mutation genealogy depth (seeds are 0).
+	Depth int
+	// FoundBy records provenance: "seed", "det", "havoc", "splice",
+	// "sync".
+	FoundBy string
+	// Favored marks the entry as part of the minimal covering set; the
+	// scheduler strongly prefers favored entries.
+	Favored bool
+	// WasFuzzed is set after the entry has been through a full fuzz round.
+	WasFuzzed bool
+	// WasTrimmed is set after the trim stage has processed the entry.
+	WasTrimmed bool
+	// FuzzLevel counts completed fuzz rounds (AFLFast's s(i)).
+	FuzzLevel int
+}
+
+// favFactor is AFL's fav_factor: smaller is better (fast and small).
+func favFactor(e *Entry) uint64 {
+	return e.Cycles * uint64(len(e.Input))
+}
+
+// Queue is the seed pool. Not safe for concurrent use.
+type Queue struct {
+	entries  []*Entry
+	topRated map[uint32]*Entry
+	dirty    bool
+}
+
+// NewQueue creates an empty queue.
+func NewQueue() *Queue {
+	return &Queue{topRated: make(map[uint32]*Entry)}
+}
+
+// Len returns the number of entries.
+func (q *Queue) Len() int { return len(q.entries) }
+
+// Get returns entry i in insertion order.
+func (q *Queue) Get(i int) *Entry { return q.entries[i] }
+
+// Add appends an entry and updates the top-rated table: for every coverage
+// slot the entry touches, it becomes the slot's champion if it has a better
+// (smaller) fav factor than the current one — AFL's update_bitmap_score.
+func (q *Queue) Add(e *Entry) {
+	q.entries = append(q.entries, e)
+	f := favFactor(e)
+	for _, slot := range e.Touched {
+		cur, ok := q.topRated[slot]
+		if !ok || f < favFactor(cur) || (f == favFactor(cur) && e.EdgeCount > cur.EdgeCount) {
+			q.topRated[slot] = e
+		}
+	}
+	q.dirty = true
+}
+
+// Cull recomputes the favored set with AFL's cull_queue algorithm: walk the
+// coverage slots in ascending order; for each slot not yet covered, favor
+// its top-rated champion and mark everything the champion touches as
+// covered. Cull is a no-op when nothing changed since the last call.
+func (q *Queue) Cull() {
+	if !q.dirty {
+		return
+	}
+	q.dirty = false
+	for _, e := range q.entries {
+		e.Favored = false
+	}
+	slots := make([]uint32, 0, len(q.topRated))
+	for slot := range q.topRated {
+		slots = append(slots, slot)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+
+	covered := make(map[uint32]bool, len(slots))
+	for _, slot := range slots {
+		if covered[slot] {
+			continue
+		}
+		champ := q.topRated[slot]
+		champ.Favored = true
+		for _, s := range champ.Touched {
+			covered[s] = true
+		}
+	}
+}
+
+// FavoredCount returns the number of favored entries (after Cull).
+func (q *Queue) FavoredCount() int {
+	n := 0
+	for _, e := range q.entries {
+		if e.Favored {
+			n++
+		}
+	}
+	return n
+}
+
+// PendingFavored returns the number of favored entries not yet fuzzed, which
+// drives AFL's skip probabilities.
+func (q *Queue) PendingFavored() int {
+	n := 0
+	for _, e := range q.entries {
+		if e.Favored && !e.WasFuzzed {
+			n++
+		}
+	}
+	return n
+}
+
+// Entries returns a copy of the entry list (the entries themselves are
+// shared).
+func (q *Queue) Entries() []*Entry {
+	out := make([]*Entry, len(q.entries))
+	copy(out, q.entries)
+	return out
+}

@@ -1,0 +1,124 @@
+package corpus
+
+import "testing"
+
+func entry(input string, cycles uint64, touched ...uint32) *Entry {
+	return &Entry{
+		Input:     []byte(input),
+		Cycles:    cycles,
+		EdgeCount: len(touched),
+		Touched:   touched,
+	}
+}
+
+func TestQueueAddAndLen(t *testing.T) {
+	q := NewQueue()
+	if q.Len() != 0 {
+		t.Fatal("new queue not empty")
+	}
+	e := entry("aaaa", 10, 1, 2)
+	q.Add(e)
+	if q.Len() != 1 || q.Get(0) != e {
+		t.Fatal("Add/Get broken")
+	}
+}
+
+func TestCullPicksChampions(t *testing.T) {
+	q := NewQueue()
+	fast := entry("aa", 1, 1, 2) // fav factor 2
+	slow := entry("aaaaaaaa", 100, 1, 2, 3)
+	q.Add(slow)
+	q.Add(fast)
+	q.Cull()
+
+	if !fast.Favored {
+		t.Error("fast champion not favored")
+	}
+	// slow still owns slot 3, so it stays favored too.
+	if !slow.Favored {
+		t.Error("slow entry owning unique slot 3 not favored")
+	}
+}
+
+func TestCullDropsDominatedEntries(t *testing.T) {
+	q := NewQueue()
+	big := entry("aa", 1, 1, 2, 3)
+	dominated := entry("bbbb", 50, 2, 3)
+	q.Add(big)
+	q.Add(dominated)
+	q.Cull()
+	if !big.Favored {
+		t.Error("covering entry not favored")
+	}
+	if dominated.Favored {
+		t.Error("dominated entry favored")
+	}
+	if got := q.FavoredCount(); got != 1 {
+		t.Errorf("FavoredCount = %d, want 1", got)
+	}
+}
+
+func TestCullIdempotentAndLazy(t *testing.T) {
+	q := NewQueue()
+	q.Add(entry("aa", 1, 1))
+	q.Cull()
+	first := q.FavoredCount()
+	q.Cull() // no changes since; must be a no-op
+	if q.FavoredCount() != first {
+		t.Error("repeat cull changed favored set")
+	}
+}
+
+func TestTopRatedTieBreakOnEdgeCount(t *testing.T) {
+	q := NewQueue()
+	a := entry("aa", 5, 1)       // factor 10, 1 edge
+	b := entry("aa", 5, 1, 2, 3) // factor 10, 3 edges
+	q.Add(a)
+	q.Add(b)
+	q.Cull()
+	if !b.Favored {
+		t.Error("tie should go to the entry with more coverage")
+	}
+}
+
+func TestPendingFavored(t *testing.T) {
+	q := NewQueue()
+	a := entry("aa", 1, 1)
+	b := entry("bb", 1, 2)
+	q.Add(a)
+	q.Add(b)
+	q.Cull()
+	if got := q.PendingFavored(); got != 2 {
+		t.Fatalf("PendingFavored = %d, want 2", got)
+	}
+	a.WasFuzzed = true
+	if got := q.PendingFavored(); got != 1 {
+		t.Fatalf("PendingFavored = %d, want 1", got)
+	}
+}
+
+func TestEntriesReturnsCopy(t *testing.T) {
+	q := NewQueue()
+	q.Add(entry("aa", 1, 1))
+	list := q.Entries()
+	list[0] = nil
+	if q.Get(0) == nil {
+		t.Error("Entries exposed internal slice")
+	}
+}
+
+func TestNewChampionReplacesSlower(t *testing.T) {
+	q := NewQueue()
+	slow := entry("cccccccc", 100, 7)
+	q.Add(slow)
+	q.Cull()
+	if !slow.Favored {
+		t.Fatal("sole entry must be favored")
+	}
+	fast := entry("c", 1, 7)
+	q.Add(fast)
+	q.Cull()
+	if slow.Favored || !fast.Favored {
+		t.Error("faster champion did not take over slot 7")
+	}
+}

@@ -1,0 +1,164 @@
+package covreport
+
+import (
+	"testing"
+
+	"github.com/bigmap/bigmap/internal/rng"
+	"github.com/bigmap/bigmap/internal/target"
+)
+
+func covTarget(t *testing.T) *target.Program {
+	t.Helper()
+	prog, err := target.Generate(target.GenSpec{
+		Name:           "cov",
+		Seed:           31,
+		NumFuncs:       4,
+		BlocksPerFunc:  12,
+		InputLen:       32,
+		BranchFraction: 0.6,
+		CrashSites:     1,
+		CrashDepth:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestReportCountsExactEdges(t *testing.T) {
+	prog := covTarget(t)
+	r := New(prog, 0)
+	res := r.Add(make([]byte, 32))
+	if res.Status != target.StatusOK {
+		t.Fatalf("status %v", res.Status)
+	}
+	if r.Edges() == 0 || r.Blocks() == 0 {
+		t.Fatal("no coverage recorded")
+	}
+	// Edges can never exceed blocks^2 and must exceed 0; blocks visited on
+	// one path are at most path length.
+	if r.Edges() > r.Blocks()*r.Blocks() {
+		t.Error("impossible edge count")
+	}
+}
+
+func TestReportMonotone(t *testing.T) {
+	prog := covTarget(t)
+	r := New(prog, 0)
+	src := rng.New(1)
+	prev := 0
+	for i := 0; i < 30; i++ {
+		in := make([]byte, 32)
+		src.Bytes(in)
+		r.Add(in)
+		if r.Edges() < prev {
+			t.Fatal("coverage shrank")
+		}
+		prev = r.Edges()
+	}
+	total, _, _ := r.Inputs()
+	if total != 30 {
+		t.Errorf("inputs = %d", total)
+	}
+}
+
+func TestReportDeterministic(t *testing.T) {
+	prog := covTarget(t)
+	corpus := prog.SampleSeeds(rng.New(2), 10)
+	a := New(prog, 0)
+	b := New(prog, 0)
+	a.AddCorpus(corpus)
+	b.AddCorpus(corpus)
+	if a.Edges() != b.Edges() || a.Blocks() != b.Blocks() {
+		t.Error("same corpus measured differently")
+	}
+	la, lb := a.EdgeList(), b.EdgeList()
+	if len(la) != len(lb) {
+		t.Fatal("edge lists differ")
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatal("edge lists differ in content")
+		}
+	}
+}
+
+func TestReportEdgeListSortedWithCounts(t *testing.T) {
+	prog := covTarget(t)
+	r := New(prog, 0)
+	r.AddCorpus(prog.SampleSeeds(rng.New(3), 5))
+	list := r.EdgeList()
+	for i := 1; i < len(list); i++ {
+		a, b := list[i-1], list[i]
+		if a.From > b.From || (a.From == b.From && a.To >= b.To) {
+			t.Fatal("edge list not strictly sorted")
+		}
+	}
+	for _, ec := range list {
+		if ec.Count == 0 {
+			t.Fatal("zero traversal count recorded")
+		}
+	}
+}
+
+func TestReportDiff(t *testing.T) {
+	prog := covTarget(t)
+	big := New(prog, 0)
+	small := New(prog, 0)
+	corpus := prog.SampleSeeds(rng.New(4), 20)
+	big.AddCorpus(corpus)
+	small.AddCorpus(corpus[:1])
+
+	if extra := small.Diff(big); len(extra) != 0 {
+		t.Errorf("subset corpus covered %d edges the superset missed", len(extra))
+	}
+	if extra := big.Diff(small); len(extra) == 0 {
+		t.Skip("corpus too uniform to diff; acceptable")
+	}
+}
+
+func TestReportCountsCrashesAndHangs(t *testing.T) {
+	prog := &target.Program{
+		Name:     "crashy",
+		InputLen: 8,
+		Funcs: []target.Func{{Blocks: []target.Block{
+			{ID: 1, Cost: 1, Node: target.Node{Kind: target.KindCompareByte, Pos: 0, Val: 'X', A: 1, B: 2}},
+			{ID: 2, Cost: 1, Node: target.Node{Kind: target.KindCrash}},
+			{ID: 3, Cost: 1, Node: target.Node{Kind: target.KindReturn}},
+		}}},
+	}
+	r := New(prog, 0)
+	r.Add([]byte{'X'})
+	r.Add([]byte{'Y'})
+	total, crashes, hangs := r.Inputs()
+	if total != 2 || crashes != 1 || hangs != 0 {
+		t.Errorf("inputs=%d crashes=%d hangs=%d", total, crashes, hangs)
+	}
+}
+
+// TestExactCoverageIsCollisionFree pins the methodological point: two edges
+// that collide in a 64kB hashed map remain distinct in the exact report.
+func TestExactCoverageIsCollisionFree(t *testing.T) {
+	// Block IDs chosen so (a>>1)^b == (c>>1)^d under a 16-bit mask.
+	prog := &target.Program{
+		Name:     "collide",
+		InputLen: 8,
+		Funcs: []target.Func{{Blocks: []target.Block{
+			{ID: 0x10000, Cost: 1, Node: target.Node{Kind: target.KindCompareByte, Pos: 0, Val: 1, A: 1, B: 2}},
+			{ID: 0x20000, Cost: 1, Node: target.Node{Kind: target.KindJump, A: 3}},
+			{ID: 0x30000, Cost: 1, Node: target.Node{Kind: target.KindJump, A: 3}},
+			{ID: 0x40000, Cost: 1, Node: target.Node{Kind: target.KindReturn}},
+		}}},
+	}
+	r := New(prog, 0)
+	r.Add([]byte{1}) // path via block 0x20000
+	r.Add([]byte{0}) // path via block 0x30000
+	// Exact coverage distinguishes the two middle blocks even though all
+	// four IDs mask to 0 in a 64k map (they collide completely there).
+	if r.Blocks() != 4 {
+		t.Errorf("blocks = %d, want 4 distinct", r.Blocks())
+	}
+	if r.Edges() != 4 {
+		t.Errorf("edges = %d, want 4 distinct (2 branch + 2 join)", r.Edges())
+	}
+}

@@ -1,0 +1,115 @@
+package crash
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyOfDistinguishesSites(t *testing.T) {
+	stack := []uint32{1, 2, 3}
+	if KeyOf(10, stack) == KeyOf(11, stack) {
+		t.Error("different faulting sites bucketed together")
+	}
+}
+
+func TestKeyOfDistinguishesStacks(t *testing.T) {
+	if KeyOf(10, []uint32{1, 2}) == KeyOf(10, []uint32{2, 1}) {
+		t.Error("stack order ignored")
+	}
+	if KeyOf(10, []uint32{1, 2}) == KeyOf(10, []uint32{1, 2, 3}) {
+		t.Error("stack depth ignored")
+	}
+}
+
+func TestKeyOfSeparatorPreventsAliasing(t *testing.T) {
+	// (stack=[1,2], site=3) must not alias (stack=[1,2,3], site=3) etc.
+	if KeyOf(3, []uint32{1, 2}) == KeyOf(3, []uint32{1, 2, 3}) {
+		t.Error("separator failed")
+	}
+}
+
+func TestKeyOfDeterministic(t *testing.T) {
+	property := func(site uint32, stack []uint32) bool {
+		return KeyOf(site, stack) == KeyOf(site, stack)
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeduperObserve(t *testing.T) {
+	d := NewDeduper()
+	if !d.Observe(1, []uint32{5}, []byte("in1")) {
+		t.Fatal("first observation not new")
+	}
+	if d.Observe(1, []uint32{5}, []byte("in2")) {
+		t.Fatal("duplicate observation reported as new")
+	}
+	if !d.Observe(1, []uint32{6}, []byte("in3")) {
+		t.Fatal("different stack not new")
+	}
+	if d.Unique() != 2 {
+		t.Errorf("Unique = %d, want 2", d.Unique())
+	}
+	if d.Total() != 3 {
+		t.Errorf("Total = %d, want 3", d.Total())
+	}
+}
+
+func TestDeduperKeepsFirstInput(t *testing.T) {
+	d := NewDeduper()
+	in := []byte("first")
+	d.Observe(1, nil, in)
+	in[0] = 'X' // caller mutates its buffer afterwards
+	recs := d.Records()
+	if len(recs) != 1 || string(recs[0].Input) != "first" {
+		t.Errorf("stored input = %q, want copy of original", recs[0].Input)
+	}
+	d.Observe(1, nil, []byte("second"))
+	if string(d.Records()[0].Input) != "first" {
+		t.Error("duplicate observation replaced the stored input")
+	}
+}
+
+func TestRecordsSortedAndComplete(t *testing.T) {
+	d := NewDeduper()
+	for i := uint32(0); i < 20; i++ {
+		d.Observe(i, []uint32{i % 3}, nil)
+	}
+	recs := d.Records()
+	if len(recs) != 20 {
+		t.Fatalf("got %d records, want 20", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i-1].Key >= recs[i].Key {
+			t.Fatal("records not sorted by key")
+		}
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := NewDeduper()
+	b := NewDeduper()
+	a.Observe(1, nil, nil)
+	a.Observe(2, nil, nil)
+	b.Observe(2, nil, nil)
+	b.Observe(3, nil, nil)
+
+	added := a.Merge(b)
+	if added != 1 {
+		t.Errorf("Merge added %d buckets, want 1", added)
+	}
+	if a.Unique() != 3 {
+		t.Errorf("Unique after merge = %d, want 3", a.Unique())
+	}
+	// The shared bucket's count should accumulate.
+	total := a.Total()
+	if total != 4 {
+		t.Errorf("Total after merge = %d, want 4", total)
+	}
+	// Merge must not alias records between dedupers.
+	b.Observe(3, nil, nil)
+	if a.Total() != 4 {
+		t.Error("merge aliased records across dedupers")
+	}
+}

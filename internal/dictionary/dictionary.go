@@ -1,0 +1,172 @@
+// Package dictionary parses AFL-style dictionary files (`-x` option) and
+// extracts tokens automatically from targets. Dictionary tokens feed the
+// mutation engine's dictionary stages, helping the fuzzer through magic
+// values and keywords.
+//
+// The file format follows AFL's dictionaries/README: one token per line,
+//
+//	name="value"        # optional name, quoted value
+//	name@level="value"  # optional level gating (tokens above -L are skipped)
+//	"bare value"        # name is optional
+//
+// with \\, \" and \xNN escapes inside the quotes. Blank lines and #-comment
+// lines are ignored.
+package dictionary
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// maxTokenLen mirrors AFL's MAX_DICT_FILE sanity bound for one token.
+const maxTokenLen = 128
+
+// Token is one dictionary entry.
+type Token struct {
+	// Name labels the token (may be empty for bare values).
+	Name string
+	// Level gates the token: tokens with Level above the load threshold
+	// are skipped, as with AFL's -x file@level syntax.
+	Level int
+	// Data is the token payload.
+	Data []byte
+}
+
+// Parse reads an AFL dictionary. maxLevel filters tokens whose level
+// exceeds it (pass a large value to keep everything).
+func Parse(content string, maxLevel int) ([]Token, error) {
+	var tokens []Token
+	for lineNo, raw := range strings.Split(content, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		tok, err := parseLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("dictionary: line %d: %w", lineNo+1, err)
+		}
+		if tok.Level > maxLevel {
+			continue
+		}
+		tokens = append(tokens, tok)
+	}
+	return tokens, nil
+}
+
+// parseLine parses one `name@level="value"` entry.
+func parseLine(line string) (Token, error) {
+	var tok Token
+
+	quote := strings.IndexByte(line, '"')
+	if quote < 0 {
+		return tok, fmt.Errorf("missing opening quote in %q", line)
+	}
+	head := strings.TrimSpace(line[:quote])
+	if head != "" {
+		head = strings.TrimSuffix(head, "=")
+		if at := strings.IndexByte(head, '@'); at >= 0 {
+			lvl, err := strconv.Atoi(strings.TrimSpace(head[at+1:]))
+			if err != nil {
+				return tok, fmt.Errorf("bad level in %q: %w", head, err)
+			}
+			tok.Level = lvl
+			head = head[:at]
+		}
+		tok.Name = strings.TrimSpace(head)
+	}
+
+	body := line[quote+1:]
+	data, rest, err := unquote(body)
+	if err != nil {
+		return tok, err
+	}
+	if strings.TrimSpace(rest) != "" {
+		return tok, fmt.Errorf("trailing garbage %q", rest)
+	}
+	if len(data) == 0 {
+		return tok, fmt.Errorf("empty token")
+	}
+	if len(data) > maxTokenLen {
+		return tok, fmt.Errorf("token of %d bytes exceeds the %d-byte limit", len(data), maxTokenLen)
+	}
+	tok.Data = data
+	return tok, nil
+}
+
+// unquote decodes the quoted value with AFL's escape rules, returning the
+// decoded bytes and anything after the closing quote.
+func unquote(s string) ([]byte, string, error) {
+	var out []byte
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch c {
+		case '"':
+			return out, s[i+1:], nil
+		case '\\':
+			if i+1 >= len(s) {
+				return nil, "", fmt.Errorf("dangling backslash")
+			}
+			i++
+			switch s[i] {
+			case '\\':
+				out = append(out, '\\')
+			case '"':
+				out = append(out, '"')
+			case 'x':
+				if i+2 >= len(s) {
+					return nil, "", fmt.Errorf("truncated \\x escape")
+				}
+				v, err := strconv.ParseUint(s[i+1:i+3], 16, 8)
+				if err != nil {
+					return nil, "", fmt.Errorf("bad \\x escape: %w", err)
+				}
+				out = append(out, byte(v))
+				i += 2
+			default:
+				return nil, "", fmt.Errorf("unsupported escape \\%c", s[i])
+			}
+		default:
+			out = append(out, c)
+		}
+	}
+	return nil, "", fmt.Errorf("missing closing quote")
+}
+
+// Data extracts just the payloads, the shape the mutation engine consumes.
+func Data(tokens []Token) [][]byte {
+	out := make([][]byte, 0, len(tokens))
+	for _, t := range tokens {
+		out = append(out, t.Data)
+	}
+	return out
+}
+
+// Format renders tokens back into the AFL dictionary format.
+func Format(tokens []Token) string {
+	var b strings.Builder
+	for _, t := range tokens {
+		if t.Name != "" {
+			b.WriteString(t.Name)
+			if t.Level != 0 {
+				fmt.Fprintf(&b, "@%d", t.Level)
+			}
+			b.WriteString("=")
+		}
+		b.WriteByte('"')
+		for _, c := range t.Data {
+			switch {
+			case c == '"':
+				b.WriteString(`\"`)
+			case c == '\\':
+				b.WriteString(`\\`)
+			case c >= 32 && c < 127:
+				b.WriteByte(c)
+			default:
+				fmt.Fprintf(&b, `\x%02x`, c)
+			}
+		}
+		b.WriteString("\"\n")
+	}
+	return b.String()
+}

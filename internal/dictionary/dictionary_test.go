@@ -1,0 +1,189 @@
+package dictionary
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/bigmap/bigmap/internal/target"
+)
+
+func TestParseBasicForms(t *testing.T) {
+	content := `
+# AFL-style dictionary
+header_png="\x89PNG"
+keyword="SELECT"
+"bare token"
+deep@2="rarely useful"
+`
+	tokens, err := Parse(content, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tokens) != 4 {
+		t.Fatalf("parsed %d tokens, want 4", len(tokens))
+	}
+	if tokens[0].Name != "header_png" || !bytes.Equal(tokens[0].Data, []byte("\x89PNG")) {
+		t.Errorf("token 0 = %+v", tokens[0])
+	}
+	if tokens[1].Name != "keyword" || string(tokens[1].Data) != "SELECT" {
+		t.Errorf("token 1 = %+v", tokens[1])
+	}
+	if tokens[2].Name != "" || string(tokens[2].Data) != "bare token" {
+		t.Errorf("token 2 = %+v", tokens[2])
+	}
+	if tokens[3].Level != 2 {
+		t.Errorf("token 3 level = %d", tokens[3].Level)
+	}
+}
+
+func TestParseLevelFilter(t *testing.T) {
+	content := `shallow="a"
+deep@5="b"`
+	tokens, err := Parse(content, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tokens) != 1 || tokens[0].Name != "shallow" {
+		t.Errorf("level filter broken: %+v", tokens)
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	tokens, err := Parse(`esc="a\\b\"c\x00d"`, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{'a', '\\', 'b', '"', 'c', 0, 'd'}
+	if !bytes.Equal(tokens[0].Data, want) {
+		t.Errorf("data = %v, want %v", tokens[0].Data, want)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`noquote`,
+		`x="unterminated`,
+		`x="bad escape \q"`,
+		`x="trunc \x1"`,
+		`x=""`,
+		`x="ok" garbage`,
+		`x@zzz="ok"`,
+		`long="` + strings.Repeat("A", 200) + `"`,
+	}
+	for _, content := range bad {
+		if _, err := Parse(content, 10); err == nil {
+			t.Errorf("accepted %q", content)
+		}
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	orig := []Token{
+		{Name: "magic", Data: []byte{0x89, 'P', 'N', 'G'}},
+		{Name: "lvl", Level: 3, Data: []byte("plain")},
+		{Data: []byte(`quote " and \ slash`)},
+	}
+	parsed, err := Parse(Format(orig), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(orig) {
+		t.Fatalf("round trip lost tokens: %d vs %d", len(parsed), len(orig))
+	}
+	for i := range orig {
+		if !bytes.Equal(parsed[i].Data, orig[i].Data) {
+			t.Errorf("token %d data = %v, want %v", i, parsed[i].Data, orig[i].Data)
+		}
+		if parsed[i].Level != orig[i].Level {
+			t.Errorf("token %d level = %d, want %d", i, parsed[i].Level, orig[i].Level)
+		}
+	}
+}
+
+func TestDataProjection(t *testing.T) {
+	tokens := []Token{{Data: []byte("a")}, {Data: []byte("bb")}}
+	data := Data(tokens)
+	if len(data) != 2 || string(data[1]) != "bb" {
+		t.Errorf("Data = %q", data)
+	}
+}
+
+func TestExtractHarvestsMagicValues(t *testing.T) {
+	prog, err := target.Generate(target.GenSpec{
+		Name:          "dict",
+		Seed:          77,
+		NumFuncs:      3,
+		BlocksPerFunc: 10,
+		InputLen:      64,
+		MagicCompares: 5,
+		MagicWidth:    4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tokens := Extract(prog)
+	if len(tokens) < 5 {
+		t.Fatalf("extracted %d tokens, want >= 5", len(tokens))
+	}
+	for _, tok := range tokens {
+		if len(tok.Data) != 4 {
+			t.Errorf("token %s has %d bytes, want 4", tok.Name, len(tok.Data))
+		}
+	}
+	// Deterministic and sorted.
+	again := Extract(prog)
+	if len(again) != len(tokens) {
+		t.Fatal("extract not deterministic")
+	}
+	for i := range tokens {
+		if !bytes.Equal(tokens[i].Data, again[i].Data) {
+			t.Fatal("extract order unstable")
+		}
+	}
+}
+
+// TestExtractedDictionaryHelpsFuzzing demonstrates the point of dictionaries:
+// with harvested magic tokens, the fuzzer unlocks gated regions that plain
+// havoc practically never matches.
+func TestExtractedDictionaryHelpsFuzzing(t *testing.T) {
+	prog, err := target.Generate(target.GenSpec{
+		Name:          "dictfuzz",
+		Seed:          78,
+		NumFuncs:      4,
+		BlocksPerFunc: 12,
+		InputLen:      48,
+		MagicCompares: 6,
+		MagicWidth:    4,
+		BonusBlocks:   8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges := func(dict [][]byte) int {
+		f, err := newTestFuzzer(prog, dict)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds := prog.SampleSeeds(testRng(), 4)
+		ok := 0
+		for _, s := range seeds {
+			if err := f.AddSeed(s); err == nil {
+				ok++
+			}
+		}
+		if ok == 0 {
+			t.Fatal("no seeds")
+		}
+		if err := f.RunExecs(30000); err != nil {
+			t.Fatal(err)
+		}
+		return f.Stats().EdgesDiscovered
+	}
+
+	without := edges(nil)
+	with := edges(Data(Extract(prog)))
+	if with <= without {
+		t.Errorf("dictionary did not help: %d edges with vs %d without", with, without)
+	}
+}

@@ -1,0 +1,47 @@
+package dictionary
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/bigmap/bigmap/internal/target"
+)
+
+// Extract statically harvests comparison operands from a target program as
+// dictionary tokens — the synthetic equivalent of grepping a binary for
+// magic values and keywords when building an AFL dictionary. Multi-byte
+// comparison constants become multi-byte tokens (little-endian, as the
+// interpreter compares them); switch-case values and crash-guard bytes are
+// left out, mirroring how real dictionaries capture format magics rather
+// than every literal.
+//
+// Tokens are deduplicated and sorted for determinism.
+func Extract(prog *target.Program) []Token {
+	seen := make(map[string]bool)
+	var tokens []Token
+	for fi := range prog.Funcs {
+		for bi := range prog.Funcs[fi].Blocks {
+			nd := &prog.Funcs[fi].Blocks[bi].Node
+			if nd.Kind != target.KindCompareWord {
+				continue
+			}
+			data := make([]byte, nd.Width)
+			for w := 0; w < nd.Width; w++ {
+				data[w] = byte(nd.Val >> (8 * w))
+			}
+			key := string(data)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			tokens = append(tokens, Token{
+				Name: fmt.Sprintf("magic_f%d_b%d", fi, bi),
+				Data: data,
+			})
+		}
+	}
+	sort.Slice(tokens, func(i, j int) bool {
+		return string(tokens[i].Data) < string(tokens[j].Data)
+	})
+	return tokens
+}

@@ -1,0 +1,62 @@
+package dictionary
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the dictionary parser never panics on arbitrary input
+// and that accepted dictionaries round-trip through Format.
+func FuzzParse(f *testing.F) {
+	f.Add(`magic="\x89PNG"`)
+	f.Add(`a@3="b"` + "\n" + `"bare"`)
+	f.Add(`broken="`)
+	f.Add("# just a comment\n\n")
+	f.Add(`x="\q"`)
+
+	f.Fuzz(func(t *testing.T, content string) {
+		tokens, err := Parse(content, 1<<30)
+		if err != nil {
+			return // rejections are fine; panics are not
+		}
+		for _, tok := range tokens {
+			if len(tok.Data) == 0 {
+				t.Fatal("accepted an empty token")
+			}
+			if len(tok.Data) > maxTokenLen {
+				t.Fatalf("accepted an oversized token (%d bytes)", len(tok.Data))
+			}
+		}
+		// Round trip: formatting and re-parsing preserves every payload.
+		again, err := Parse(Format(tokens), 1<<30)
+		if err != nil {
+			t.Fatalf("formatted output does not re-parse: %v", err)
+		}
+		if len(again) != len(tokens) {
+			t.Fatalf("round trip changed token count: %d -> %d", len(tokens), len(again))
+		}
+		for i := range tokens {
+			if string(again[i].Data) != string(tokens[i].Data) {
+				t.Fatalf("token %d payload changed: %q -> %q", i, tokens[i].Data, again[i].Data)
+			}
+		}
+	})
+}
+
+// FuzzUnquote asserts the escape decoder never panics and never reads past
+// the closing quote.
+func FuzzUnquote(f *testing.F) {
+	f.Add(`abc"rest`)
+	f.Add(`\\\"\x41"tail`)
+	f.Add(`noquote`)
+	f.Fuzz(func(t *testing.T, s string) {
+		data, rest, err := unquote(s)
+		if err != nil {
+			return
+		}
+		if !strings.HasSuffix(s, rest) {
+			t.Fatal("rest is not a suffix of the input")
+		}
+		_ = data
+	})
+}

@@ -1,0 +1,20 @@
+package dictionary
+
+import (
+	"github.com/bigmap/bigmap/internal/fuzzer"
+	"github.com/bigmap/bigmap/internal/rng"
+	"github.com/bigmap/bigmap/internal/target"
+)
+
+// newTestFuzzer builds a BigMap fuzzer with an optional dictionary.
+func newTestFuzzer(prog *target.Program, dict [][]byte) (*fuzzer.Fuzzer, error) {
+	return fuzzer.New(prog, fuzzer.Config{
+		Scheme:  fuzzer.SchemeBigMap,
+		MapSize: 1 << 18,
+		Seed:    9,
+		Dict:    dict,
+	})
+}
+
+// testRng returns a fixed-seed source for seed synthesis.
+func testRng() *rng.Source { return rng.New(101) }

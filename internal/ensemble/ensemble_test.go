@@ -1,0 +1,142 @@
+package ensemble
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/bigmap/bigmap/internal/fuzzer"
+	"github.com/bigmap/bigmap/internal/rng"
+	"github.com/bigmap/bigmap/internal/target"
+)
+
+func ensembleTarget(t *testing.T) (*target.Program, [][]byte) {
+	t.Helper()
+	prog, err := target.Generate(target.GenSpec{
+		Name:           "ens",
+		Seed:           61,
+		NumFuncs:       8,
+		BlocksPerFunc:  16,
+		InputLen:       64,
+		BranchFraction: 0.6,
+		Switches:       2,
+		SwitchFanout:   4,
+		Loops:          2,
+		LoopMax:        8,
+		CrashSites:     2,
+		CrashDepth:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, prog.SampleSeeds(rng.New(62), 4)
+}
+
+func TestNewValidates(t *testing.T) {
+	prog, seeds := ensembleTarget(t)
+	if _, err := New(prog, Config{}, seeds); !errors.Is(err, ErrNoMembers) {
+		t.Errorf("err = %v, want ErrNoMembers", err)
+	}
+}
+
+func TestEnsembleRunsAllMembers(t *testing.T) {
+	prog, seeds := ensembleTarget(t)
+	e, err := New(prog, Config{
+		Members:   DefaultMembers(),
+		SyncEvery: 2000,
+		Fuzzer:    fuzzer.Config{Scheme: fuzzer.SchemeBigMap, MapSize: 1 << 18, Seed: 1},
+	}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunExecs(4000); err != nil {
+		t.Fatal(err)
+	}
+	rep := e.Report(prog)
+	if len(rep.PerMember) != 3 {
+		t.Fatalf("members = %d", len(rep.PerMember))
+	}
+	names := map[string]bool{}
+	for _, m := range rep.PerMember {
+		names[m.Name] = true
+		if m.Stats.Execs < 4000 {
+			t.Errorf("member %s execs = %d", m.Name, m.Stats.Execs)
+		}
+	}
+	if !names["edge"] || !names["ngram3"] || !names["ctx-edge"] {
+		t.Errorf("member names wrong: %v", names)
+	}
+	if rep.UnionExactEdges == 0 {
+		t.Error("no union coverage")
+	}
+	if rep.TotalExecs < 12000 {
+		t.Errorf("TotalExecs = %d", rep.TotalExecs)
+	}
+}
+
+func TestEnsembleUnionCoverageAtLeastBestMember(t *testing.T) {
+	prog, seeds := ensembleTarget(t)
+	e, err := New(prog, Config{
+		Members:   DefaultMembers(),
+		SyncEvery: 3000,
+		Fuzzer:    fuzzer.Config{Scheme: fuzzer.SchemeBigMap, MapSize: 1 << 18, Seed: 2},
+	}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunExecs(6000); err != nil {
+		t.Fatal(err)
+	}
+	rep := e.Report(prog)
+
+	// The union exact coverage must be at least each single member's exact
+	// coverage (measure each member's corpus the same way).
+	for i, f := range e.Members() {
+		memberCov := exactEdges(prog, f)
+		if rep.UnionExactEdges < memberCov {
+			t.Errorf("union %d < member %d's %d", rep.UnionExactEdges, i, memberCov)
+		}
+	}
+}
+
+func TestEnsembleCrashUnion(t *testing.T) {
+	prog, seeds := ensembleTarget(t)
+	e, err := New(prog, Config{
+		Members:   DefaultMembers(),
+		SyncEvery: 10000,
+		Fuzzer:    fuzzer.Config{Scheme: fuzzer.SchemeBigMap, MapSize: 1 << 18, Seed: 3},
+	}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunExecs(30000); err != nil {
+		t.Fatal(err)
+	}
+	rep := e.Report(prog)
+	best := 0
+	for _, m := range rep.PerMember {
+		if m.Stats.UniqueCrashes > best {
+			best = m.Stats.UniqueCrashes
+		}
+	}
+	if rep.UniqueCrashes < best {
+		t.Errorf("crash union %d < best member %d", rep.UniqueCrashes, best)
+	}
+}
+
+func TestSingleMemberEnsemble(t *testing.T) {
+	prog, seeds := ensembleTarget(t)
+	e, err := New(prog, Config{
+		Members:   DefaultMembers()[:1],
+		SyncEvery: 1000,
+		Fuzzer:    fuzzer.Config{Seed: 4},
+	}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunExecs(1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Report(prog).TotalExecs; got < 1000 {
+		t.Errorf("TotalExecs = %d", got)
+	}
+}

@@ -1,0 +1,17 @@
+package ensemble
+
+import (
+	"github.com/bigmap/bigmap/internal/covreport"
+	"github.com/bigmap/bigmap/internal/fuzzer"
+	"github.com/bigmap/bigmap/internal/target"
+)
+
+// exactEdges measures one member's corpus with the bias-free coverage
+// build.
+func exactEdges(prog *target.Program, f *fuzzer.Fuzzer) int {
+	cov := covreport.New(prog, 0)
+	for _, e := range f.Queue().Entries() {
+		cov.Add(e.Input)
+	}
+	return cov.Edges()
+}

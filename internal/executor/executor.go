@@ -1,0 +1,123 @@
+// Package executor runs test cases against an instrumented target, wiring
+// the target's block-event stream through a coverage metric into a coverage
+// map — the role AFL's instrumentation shim and shared-memory segment play.
+//
+// The executor is the persistent-mode analogue of the paper's setup (§V-A):
+// the interpreter, metric and map are reused across executions with no
+// process creation or reinitialization, so per-testcase cost is execution
+// plus map operations, exactly the breakdown of Figure 3.
+package executor
+
+import (
+	"errors"
+
+	"github.com/bigmap/bigmap/internal/core"
+	"github.com/bigmap/bigmap/internal/target"
+)
+
+// DefaultBudget is the default per-execution virtual cycle budget (the
+// analogue of AFL's exec timeout).
+const DefaultBudget = 1 << 22
+
+// ErrNilDependency is returned when a required constructor argument is nil.
+var ErrNilDependency = errors.New("executor: program, metric and map are required")
+
+// Executor executes inputs against one program with one metric and one
+// coverage map. Not safe for concurrent use; each fuzzing instance owns one.
+type Executor struct {
+	interp     *target.Interp
+	metric     core.Metric
+	cov        core.Map
+	budget     uint64
+	costFactor int
+	costSink   uint64
+	tracer     mapTracer
+}
+
+// mapTracer adapts a Metric + Map pair to the target.Tracer interface. This
+// is the hot path: one metric key derivation and one map update per basic
+// block executed, matching Listing 1 (AFL) or Listing 2 (BigMap).
+type mapTracer struct {
+	metric core.Metric
+	cov    core.Map
+}
+
+var _ target.Tracer = (*mapTracer)(nil)
+
+func (t *mapTracer) Visit(block uint32) {
+	t.cov.Add(t.metric.Visit(block))
+}
+
+func (t *mapTracer) EnterCall(site uint32) { t.metric.EnterCall(site) }
+func (t *mapTracer) LeaveCall()            { t.metric.LeaveCall() }
+
+// New creates an executor. budget is the per-execution cycle budget; pass 0
+// for DefaultBudget.
+func New(prog *target.Program, metric core.Metric, cov core.Map, budget uint64) (*Executor, error) {
+	if prog == nil || metric == nil || cov == nil {
+		return nil, ErrNilDependency
+	}
+	if budget == 0 {
+		budget = DefaultBudget
+	}
+	return &Executor{
+		interp: target.NewInterp(prog),
+		metric: metric,
+		cov:    cov,
+		budget: budget,
+		tracer: mapTracer{metric: metric, cov: cov},
+	}, nil
+}
+
+// Map returns the coverage map the executor records into.
+func (e *Executor) Map() core.Map { return e.cov }
+
+// Metric returns the coverage metric in use.
+func (e *Executor) Metric() core.Metric { return e.metric }
+
+// Program returns the target program.
+func (e *Executor) Program() *target.Program { return e.interp.Program() }
+
+// Budget returns the per-execution cycle budget.
+func (e *Executor) Budget() uint64 { return e.budget }
+
+// SetCostFactor calibrates simulated execution cost: after each run the
+// executor performs costFactor units of CPU work per virtual cycle the
+// target consumed. The synthetic interpreter is far cheaper per basic block
+// than a real instrumented binary, which would make map operations look
+// disproportionately expensive at AFL's native 64kB size; a non-zero cost
+// factor restores the paper's regime, where target execution dominates on
+// small maps (Figure 3, 64kB bars) and the map operations only take over as
+// the map grows. Zero (the default) disables the simulation.
+func (e *Executor) SetCostFactor(factor int) {
+	if factor < 0 {
+		factor = 0
+	}
+	e.costFactor = factor
+}
+
+// Execute runs one input, recording coverage into the map. The caller is
+// responsible for resetting the map beforehand and classifying/comparing it
+// afterwards — the fuzzer owns that pipeline so it can time each phase
+// separately (Figure 3) and choose merged or split classify+compare (§IV-E).
+func (e *Executor) Execute(input []byte) target.Result {
+	e.metric.Begin()
+	res := e.interp.Run(input, &e.tracer, e.budget)
+	if e.costFactor > 0 {
+		e.simulateWork(res.Cycles * uint64(e.costFactor))
+	}
+	return res
+}
+
+// simulateWork burns CPU deterministically, standing in for the native
+// instructions a real target would execute between coverage updates. The
+// accumulated sink prevents the loop from being optimized away.
+func (e *Executor) simulateWork(units uint64) {
+	sink := e.costSink
+	for i := uint64(0); i < units; i++ {
+		sink ^= sink<<13 ^ i
+		sink ^= sink >> 7
+		sink ^= sink << 17
+	}
+	e.costSink = sink
+}

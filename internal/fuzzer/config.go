@@ -1,0 +1,122 @@
+package fuzzer
+
+import (
+	"errors"
+
+	"github.com/bigmap/bigmap/internal/core"
+)
+
+// Defaults mirroring AFL's config.h, scaled to the synthetic substrate.
+const (
+	// DefaultHavocRounds is the baseline number of havoc mutants per fuzz
+	// round (AFL's HAVOC_CYCLES).
+	DefaultHavocRounds = 256
+	// DefaultSpliceRounds is the number of splice attempts per fuzz round
+	// once the queue has at least two entries.
+	DefaultSpliceRounds = 32
+	// Skip probabilities from AFL: a non-favored entry is skipped with
+	// probability skipToNewPct while favored entries are pending, else
+	// with skipNfavOldPct (already fuzzed) or skipNfavNewPct.
+	skipToNewPct   = 99
+	skipNfavOldPct = 95
+	skipNfavNewPct = 75
+)
+
+// ErrNoSeeds is returned when fuzzing starts with an empty queue.
+var ErrNoSeeds = errors.New("fuzzer: no usable seeds in queue")
+
+// Scheme selects the coverage map implementation.
+type Scheme string
+
+// Supported map schemes.
+const (
+	// SchemeAFL is the flat single-level bitmap (the baseline).
+	SchemeAFL Scheme = "afl"
+	// SchemeBigMap is the paper's two-level bitmap.
+	SchemeBigMap Scheme = "bigmap"
+)
+
+// NewMap constructs a coverage map of the scheme.
+func (s Scheme) NewMap(size int) (core.Map, error) {
+	switch s {
+	case SchemeAFL:
+		return core.NewAFLMap(size)
+	case SchemeBigMap:
+		return core.NewBigMap(size)
+	default:
+		return nil, errors.New("fuzzer: unknown map scheme " + string(s))
+	}
+}
+
+// MetricFactory builds a coverage metric sized for a map. core.NewEdgeMetric
+// matched to the map size is the AFL default.
+type MetricFactory func(mapSize int) (core.Metric, error)
+
+// Config parameterizes a fuzzing instance. The zero value is completed by
+// applyDefaults: 64kB AFL-scheme map, edge metric, deterministic stage
+// skipped, and the merged classify+compare optimization on — the paper's
+// experimental setup (§V-A1, §IV-E).
+type Config struct {
+	// Scheme picks the coverage map implementation.
+	Scheme Scheme
+	// MapSize is the coverage map size in slots (power of two).
+	MapSize int
+	// Metric builds the coverage metric (default: AFL edge metric).
+	Metric MetricFactory
+	// Seed seeds all randomness of this instance.
+	Seed uint64
+	// ExecBudget is the per-execution cycle budget (0 = executor default).
+	ExecBudget uint64
+	// ExecCostFactor simulates native target execution cost: CPU work per
+	// virtual cycle after each run (0 = off). See executor.SetCostFactor.
+	ExecCostFactor int
+	// RunDeterministic enables AFL's deterministic stages for entries not
+	// yet fuzzed. Off by default: the paper skips it for 24-hour runs, and
+	// parallel mode enables it on the master only.
+	RunDeterministic bool
+	// SplitClassifyCompare disables the merged classify+compare traversal
+	// (§IV-E) and runs the two passes separately, as vanilla AFL does.
+	// Required to attribute time to the two phases separately (Figure 3).
+	SplitClassifyCompare bool
+	// TrackTimings records per-phase wall-clock time (Figure 3).
+	TrackTimings bool
+	// DisableTrim turns off AFL's test-case trimming of new queue entries.
+	DisableTrim bool
+	// Schedule selects the AFLFast power schedule (default: exploit, no
+	// per-exec path accounting).
+	Schedule PowerSchedule
+	// AdaptiveHavoc enables MOpt-style operator scheduling: havoc
+	// operators that produce interesting mutants are selected more often.
+	AdaptiveHavoc bool
+	// EnableCmpLog turns on RedQueen-style input-to-state mutation: each
+	// queue entry gets one compare-collection run, and every failed
+	// comparison yields a targeted mutant patching the wanted operand into
+	// the input.
+	EnableCmpLog bool
+	// HavocRounds and SpliceRounds bound the random stages per fuzz round
+	// (0 = defaults).
+	HavocRounds  int
+	SpliceRounds int
+	// Dict is an optional token dictionary for the mutation engine.
+	Dict [][]byte
+}
+
+// applyDefaults fills zero fields in place and validates.
+func (c *Config) applyDefaults() error {
+	if c.Scheme == "" {
+		c.Scheme = SchemeAFL
+	}
+	if c.MapSize == 0 {
+		c.MapSize = core.MapSize64K
+	}
+	if c.Metric == nil {
+		c.Metric = func(size int) (core.Metric, error) { return core.NewEdgeMetric(size) }
+	}
+	if c.HavocRounds == 0 {
+		c.HavocRounds = DefaultHavocRounds
+	}
+	if c.SpliceRounds == 0 {
+		c.SpliceRounds = DefaultSpliceRounds
+	}
+	return validateSchedule(c.Schedule)
+}

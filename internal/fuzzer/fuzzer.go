@@ -1,0 +1,452 @@
+// Package fuzzer implements the coverage-guided evolutionary loop of AFL
+// (paper §II-A, Figure 1) on top of the executor, mutation, corpus and crash
+// packages. The loop is scheme-agnostic: it drives whatever coverage map the
+// configuration selects, which is how the harness compares AFL's flat bitmap
+// against BigMap under otherwise identical seed scheduling and mutation.
+package fuzzer
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/bigmap/bigmap/internal/cmplog"
+	"github.com/bigmap/bigmap/internal/core"
+	"github.com/bigmap/bigmap/internal/corpus"
+	"github.com/bigmap/bigmap/internal/crash"
+	"github.com/bigmap/bigmap/internal/executor"
+	"github.com/bigmap/bigmap/internal/mutation"
+	"github.com/bigmap/bigmap/internal/rng"
+	"github.com/bigmap/bigmap/internal/target"
+)
+
+// Fuzzer is one fuzzing instance: one target, one coverage map, one seed
+// pool. Not safe for concurrent use; parallel campaigns run one Fuzzer per
+// goroutine (package parallel).
+type Fuzzer struct {
+	cfg  Config
+	cov  core.Map
+	exec *executor.Executor
+
+	virginAll   *core.Virgin
+	virginCrash *core.Virgin
+	virginHang  *core.Virgin
+
+	queue   *corpus.Queue
+	mut     *mutation.Mutator
+	src     *rng.Source
+	crashes *crash.Deduper
+	cmp     *cmplog.Collector
+	paths   *pathStats
+
+	execs          uint64
+	deadline       time.Time // non-zero during RunFor: abort stages when past
+	cyclesDone     int
+	totalCrashes   uint64
+	totalHangs     uint64
+	aflUniqueCrash int
+	timings        Timings
+	queuePos       int
+	touchedScratch []uint32
+	sumCycles      uint64 // across queue entries, for perf scoring
+	sumEdges       uint64
+	rejectedSeeds  int
+}
+
+// New creates a fuzzing instance for prog.
+func New(prog *target.Program, cfg Config) (*Fuzzer, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, err
+	}
+	cov, err := cfg.Scheme.NewMap(cfg.MapSize)
+	if err != nil {
+		return nil, fmt.Errorf("map scheme %q: %w", cfg.Scheme, err)
+	}
+	metric, err := cfg.Metric(cfg.MapSize)
+	if err != nil {
+		return nil, fmt.Errorf("metric: %w", err)
+	}
+	exe, err := executor.New(prog, metric, cov, cfg.ExecBudget)
+	if err != nil {
+		return nil, err
+	}
+	exe.SetCostFactor(cfg.ExecCostFactor)
+	src := rng.New(cfg.Seed ^ 0xf022a11)
+	mut := mutation.New(src.Split(), cfg.Dict)
+	if cfg.AdaptiveHavoc {
+		mut.EnableAdaptive()
+	}
+	var collector *cmplog.Collector
+	if cfg.EnableCmpLog {
+		collector = cmplog.NewCollector(prog, cfg.ExecBudget, 0)
+	}
+	var paths *pathStats
+	if cfg.Schedule != "" && cfg.Schedule != ScheduleExploit {
+		paths = newPathStats()
+	}
+	return &Fuzzer{
+		cfg:         cfg,
+		cov:         cov,
+		exec:        exe,
+		virginAll:   cov.NewVirgin(),
+		virginCrash: cov.NewVirgin(),
+		virginHang:  cov.NewVirgin(),
+		queue:       corpus.NewQueue(),
+		mut:         mut,
+		src:         src,
+		crashes:     crash.NewDeduper(),
+		cmp:         collector,
+		paths:       paths,
+	}, nil
+}
+
+// Map exposes the coverage map (for harness inspection).
+func (f *Fuzzer) Map() core.Map { return f.cov }
+
+// Queue exposes the seed pool (for harness inspection and corpus sync).
+func (f *Fuzzer) Queue() *corpus.Queue { return f.queue }
+
+// Crashes exposes the Crashwalk-style deduper.
+func (f *Fuzzer) Crashes() *crash.Deduper { return f.crashes }
+
+// AddSeed runs one user-provided seed and enqueues it. Mirroring AFL's
+// startup behaviour, seeds enter the queue whether or not they add coverage,
+// but crashing or hanging seeds are rejected.
+func (f *Fuzzer) AddSeed(input []byte) error {
+	res, verdict := f.runOne(input)
+	switch res.Status {
+	case target.StatusCrash, target.StatusHang:
+		f.rejectedSeeds++
+		return fmt.Errorf("fuzzer: seed %s during dry run", res.Status)
+	default:
+	}
+	_ = verdict // seeds are enqueued regardless of verdict
+	f.enqueue(input, res, "seed", 0)
+	return nil
+}
+
+// RunExecs fuzzes until at least n test cases have been executed since the
+// call. Returns ErrNoSeeds if the queue is empty.
+func (f *Fuzzer) RunExecs(n uint64) error {
+	stop := f.execs + n
+	for f.execs < stop {
+		if err := f.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunFor fuzzes until d wall-clock time has elapsed. Unlike RunExecs, the
+// deadline is also honoured inside a fuzz round (checked every few dozen
+// executions), so slow configurations (large flat maps) cannot overshoot
+// the budget by a whole round — that matters for fair wall-clock
+// comparisons like the scaling experiment.
+func (f *Fuzzer) RunFor(d time.Duration) error {
+	f.deadline = time.Now().Add(d)
+	defer func() { f.deadline = time.Time{} }()
+	for time.Now().Before(f.deadline) {
+		if err := f.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pastDeadline reports whether a RunFor deadline has expired. The check is
+// amortized: callers invoke it every few dozen executions.
+func (f *Fuzzer) pastDeadline() bool {
+	return !f.deadline.IsZero() && time.Now().After(f.deadline)
+}
+
+// Step selects one queue entry (with AFL's favored-skip probabilities) and
+// runs a full fuzz round on it: optional deterministic stages, havoc, and
+// splice. One call executes hundreds to thousands of test cases.
+func (f *Fuzzer) Step() error {
+	if f.queue.Len() == 0 {
+		return ErrNoSeeds
+	}
+	f.queue.Cull()
+	e := f.selectEntry()
+	if !f.cfg.DisableTrim && !e.WasTrimmed {
+		f.trim(e)
+		e.WasTrimmed = true
+	}
+	f.fuzzEntry(e)
+	e.WasFuzzed = true
+	return nil
+}
+
+// selectEntry cycles through the queue applying AFL's skip probabilities:
+// while favored entries are pending, non-favored ones are almost always
+// skipped; afterwards they still fuzz rarely.
+func (f *Fuzzer) selectEntry() *corpus.Entry {
+	pending := f.queue.PendingFavored()
+	for attempts := 0; attempts < 10*f.queue.Len(); attempts++ {
+		if f.queuePos != 0 && f.queuePos%f.queue.Len() == 0 {
+			f.cyclesDone++
+		}
+		e := f.queue.Get(f.queuePos % f.queue.Len())
+		f.queuePos++
+		if e.Favored {
+			return e
+		}
+		var skipPct int
+		switch {
+		case pending > 0:
+			skipPct = skipToNewPct
+		case e.WasFuzzed:
+			skipPct = skipNfavOldPct
+		default:
+			skipPct = skipNfavNewPct
+		}
+		if f.src.Intn(100) >= skipPct {
+			return e
+		}
+	}
+	return f.queue.Get(f.queuePos % f.queue.Len())
+}
+
+// fuzzEntry runs the mutation stages against one entry.
+func (f *Fuzzer) fuzzEntry(e *corpus.Entry) {
+	depth := e.Depth + 1
+
+	if f.cmp != nil && !e.WasFuzzed {
+		f.cmpLogStage(e, depth)
+	}
+
+	if f.cfg.RunDeterministic && !e.WasFuzzed {
+		n := 0
+		f.mut.Deterministic(e.Input, func(candidate []byte) bool {
+			f.evaluate(candidate, "det", depth)
+			n++
+			return n&255 != 255 || !f.pastDeadline()
+		})
+	}
+
+	rounds := f.havocRounds(e)
+	if f.paths != nil {
+		factor := scheduleFactor(f.cfg.Schedule, e.FuzzLevel,
+			f.paths.frequency(e.PathHash), f.paths.mean())
+		rounds = rounds * factor / 4
+		if factor > 0 && rounds < 8 {
+			rounds = 8
+		}
+	}
+	for i := 0; i < rounds; i++ {
+		if i&63 == 63 && f.pastDeadline() {
+			e.FuzzLevel++
+			return
+		}
+		before := f.queue.Len()
+		f.evaluate(f.mut.Havoc(e.Input), "havoc", depth)
+		f.mut.RewardLast(f.queue.Len() > before)
+	}
+	e.FuzzLevel++
+
+	if f.queue.Len() > 1 {
+		for i := 0; i < f.cfg.SpliceRounds; i++ {
+			if i&15 == 15 && f.pastDeadline() {
+				return
+			}
+			other := f.queue.Get(f.src.Intn(f.queue.Len()))
+			if other == e {
+				continue
+			}
+			spliced := f.mut.Splice(e.Input, other.Input)
+			if spliced == nil {
+				continue
+			}
+			f.evaluate(f.mut.Havoc(spliced), "splice", depth)
+		}
+	}
+}
+
+// cmpLogStage collects the entry's failed comparisons and evaluates one
+// targeted mutant per comparison, patching the wanted operand bytes into the
+// input (input-to-state). The collection run costs one execution.
+func (f *Fuzzer) cmpLogStage(e *corpus.Entry, depth int) {
+	f.execs++ // the collection replay
+	for _, p := range f.cmp.Collect(e.Input) {
+		f.evaluate(cmplog.Apply(e.Input, p), "cmplog", depth)
+	}
+}
+
+// havocRounds computes a simplified AFL perf score: entries that are faster
+// and cover more than the queue average earn more havoc rounds, favored
+// entries likewise.
+func (f *Fuzzer) havocRounds(e *corpus.Entry) int {
+	rounds := f.cfg.HavocRounds
+	n := uint64(f.queue.Len())
+	if n > 0 {
+		if avg := f.sumCycles / n; avg > 0 && e.Cycles < avg/2 {
+			rounds *= 2
+		}
+		if avg := f.sumEdges / n; avg > 0 && uint64(e.EdgeCount) > avg*2 {
+			rounds *= 2
+		}
+	}
+	if e.Favored {
+		rounds += rounds / 2
+	}
+	return rounds
+}
+
+// evaluate runs one candidate through the full coverage pipeline and files
+// it (queue, crash bucket, hang) according to the fitness function.
+func (f *Fuzzer) evaluate(candidate []byte, foundBy string, depth int) {
+	res, verdict := f.runOne(candidate)
+	switch res.Status {
+	case target.StatusOK:
+		if verdict != core.VerdictNone {
+			input := make([]byte, len(candidate))
+			copy(input, candidate)
+			f.enqueue(input, res, foundBy, depth)
+		}
+	case target.StatusCrash:
+		f.totalCrashes++
+		if verdict != core.VerdictNone {
+			f.aflUniqueCrash++
+		}
+		f.crashes.Observe(res.CrashSite, res.Stack, candidate)
+	case target.StatusHang:
+		f.totalHangs++
+	}
+}
+
+// runOne is the per-testcase pipeline of §II-A2: reset the map, execute,
+// classify + compare against the appropriate virgin map, and (for
+// interesting, non-crashing cases) hash. Every phase is optionally timed.
+func (f *Fuzzer) runOne(input []byte) (target.Result, core.Verdict) {
+	timed := f.cfg.TrackTimings
+
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
+	f.cov.Reset()
+	if timed {
+		f.timings.Reset += time.Since(t0)
+		t0 = time.Now()
+	}
+
+	res := f.exec.Execute(input)
+	f.execs++
+	if timed {
+		f.timings.Execution += time.Since(t0)
+	}
+
+	virgin := f.virginAll
+	switch res.Status {
+	case target.StatusCrash:
+		virgin = f.virginCrash
+	case target.StatusHang:
+		virgin = f.virginHang
+	}
+
+	var verdict core.Verdict
+	if f.cfg.SplitClassifyCompare {
+		if timed {
+			t0 = time.Now()
+		}
+		f.cov.Classify()
+		if timed {
+			f.timings.Classify += time.Since(t0)
+			t0 = time.Now()
+		}
+		verdict = f.cov.CompareWith(virgin)
+		if timed {
+			f.timings.Compare += time.Since(t0)
+		}
+	} else {
+		if timed {
+			t0 = time.Now()
+		}
+		verdict = f.cov.ClassifyAndCompare(virgin)
+		if timed {
+			f.timings.ClassifyCompare += time.Since(t0)
+		}
+	}
+	if f.paths != nil {
+		// AFLFast's n_fuzz accounting hashes every classified trace. The
+		// cost is the price of the schedule, as in the original.
+		f.paths.observe(f.cov.Hash())
+	}
+	return res, verdict
+}
+
+// runForHash executes an input and returns its classified-trace digest
+// without consulting or updating any virgin map — the read-only run the trim
+// stage needs for path comparison.
+func (f *Fuzzer) runForHash(input []byte) (target.Result, uint64) {
+	f.cov.Reset()
+	res := f.exec.Execute(input)
+	f.execs++
+	f.cov.Classify()
+	return res, f.cov.Hash()
+}
+
+// enqueue files an interesting input into the queue. The target is
+// deterministic, so a single execution doubles as AFL's calibration run:
+// res.Cycles is already the exact execution cost.
+func (f *Fuzzer) enqueue(input []byte, res target.Result, foundBy string, depth int) {
+	timed := f.cfg.TrackTimings
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
+	pathHash := f.cov.Hash()
+	if timed {
+		f.timings.Hash += time.Since(t0)
+	}
+
+	f.touchedScratch = f.cov.AppendTouched(f.touchedScratch[:0])
+	touched := make([]uint32, len(f.touchedScratch))
+	copy(touched, f.touchedScratch)
+
+	e := &corpus.Entry{
+		Input:     input,
+		Cycles:    res.Cycles,
+		EdgeCount: len(touched),
+		Touched:   touched,
+		PathHash:  pathHash,
+		Depth:     depth,
+		FoundBy:   foundBy,
+	}
+	f.queue.Add(e)
+	f.sumCycles += res.Cycles
+	f.sumEdges += uint64(len(touched))
+}
+
+// ImportInput re-executes an input found by another instance and enqueues it
+// if it adds local coverage — AFL's corpus synchronization.
+func (f *Fuzzer) ImportInput(input []byte) bool {
+	res, verdict := f.runOne(input)
+	if res.Status != target.StatusOK || verdict == core.VerdictNone {
+		return false
+	}
+	in := make([]byte, len(input))
+	copy(in, input)
+	f.enqueue(in, res, "sync", 0)
+	return true
+}
+
+// Stats snapshots the instance's progress. EdgesDiscovered walks the virgin
+// map, so avoid calling it in a hot loop.
+func (f *Fuzzer) Stats() Stats {
+	return Stats{
+		Execs:            f.execs,
+		CyclesDone:       f.cyclesDone,
+		Paths:            f.queue.Len(),
+		PendingFavored:   f.queue.PendingFavored(),
+		EdgesDiscovered:  f.virginAll.CountDiscovered(),
+		Crashes:          f.totalCrashes,
+		UniqueCrashes:    f.crashes.Unique(),
+		UniqueCrashesAFL: f.aflUniqueCrash,
+		Hangs:            f.totalHangs,
+		UsedKeys:         f.cov.UsedKeys(),
+		Timings:          f.timings,
+	}
+}
+
+// Execs returns the number of executed test cases (cheap, for hot loops).
+func (f *Fuzzer) Execs() uint64 { return f.execs }

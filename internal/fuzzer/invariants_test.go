@@ -1,0 +1,81 @@
+package fuzzer
+
+import "testing"
+
+// TestCampaignInvariants runs a campaign and checks cross-cutting stats
+// invariants after every step.
+func TestCampaignInvariants(t *testing.T) {
+	prog := fuzzTarget(t)
+	f, err := New(prog, Config{Seed: 31, Scheme: SchemeBigMap, HavocRounds: 32, SpliceRounds: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCorpus(t, f, prog, 3)
+	seeds := f.Queue().Len()
+
+	var prevExecs uint64
+	for step := 0; step < 40; step++ {
+		if err := f.Step(); err != nil {
+			t.Fatal(err)
+		}
+		st := f.Stats()
+		if st.Execs <= prevExecs {
+			t.Fatalf("step %d: execs did not advance (%d -> %d)", step, prevExecs, st.Execs)
+		}
+		prevExecs = st.Execs
+		if st.UniqueCrashes > int(st.Crashes) {
+			t.Fatalf("step %d: unique crashes %d > total %d", step, st.UniqueCrashes, st.Crashes)
+		}
+		if st.Paths < seeds {
+			t.Fatalf("step %d: queue shrank below seed count", step)
+		}
+		if st.UsedKeys > f.Map().Size() {
+			t.Fatalf("step %d: used_key %d > map size", step, st.UsedKeys)
+		}
+		if st.EdgesDiscovered > st.UsedKeys {
+			t.Fatalf("step %d: discovered %d > used_key %d (BigMap cannot discover unassigned slots)",
+				step, st.EdgesDiscovered, st.UsedKeys)
+		}
+		if st.PendingFavored > st.Paths {
+			t.Fatalf("step %d: pending favored %d > paths %d", step, st.PendingFavored, st.Paths)
+		}
+	}
+	if f.Stats().CyclesDone == 0 && prevExecs > 50000 {
+		t.Log("note: no full queue cycle completed; acceptable for short runs")
+	}
+}
+
+// TestQueueEntriesWellFormed checks the invariants of everything the
+// campaign filed into the queue.
+func TestQueueEntriesWellFormed(t *testing.T) {
+	prog := fuzzTarget(t)
+	f, err := New(prog, Config{Seed: 32, Scheme: SchemeAFL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCorpus(t, f, prog, 3)
+	if err := f.RunExecs(8000); err != nil {
+		t.Fatal(err)
+	}
+	valid := map[string]bool{"seed": true, "havoc": true, "splice": true, "det": true, "sync": true, "cmplog": true}
+	for i, e := range f.Queue().Entries() {
+		if len(e.Input) == 0 {
+			t.Errorf("entry %d: empty input", i)
+		}
+		if e.EdgeCount != len(e.Touched) {
+			t.Errorf("entry %d: EdgeCount %d != len(Touched) %d", i, e.EdgeCount, len(e.Touched))
+		}
+		if e.EdgeCount == 0 {
+			t.Errorf("entry %d: touches no coverage", i)
+		}
+		if !valid[e.FoundBy] {
+			t.Errorf("entry %d: unknown provenance %q", i, e.FoundBy)
+		}
+		for j := 1; j < len(e.Touched); j++ {
+			if e.Touched[j-1] >= e.Touched[j] {
+				t.Errorf("entry %d: Touched not strictly ascending", i)
+				break
+			}
+		}
+	}
+}

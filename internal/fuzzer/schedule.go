@@ -1,0 +1,129 @@
+package fuzzer
+
+import "fmt"
+
+// PowerSchedule selects how much mutation energy a queue entry receives per
+// fuzz round — the AFLFast family (Böhme et al., the paper's reference
+// [16]). The paper's approach is orthogonal to seed scheduling, so BigMap
+// composes with any of these; implementing them demonstrates it and lets the
+// harness measure the composition.
+type PowerSchedule string
+
+// Supported schedules. The empty value keeps AFL's plain perf-score
+// behaviour with no per-execution path accounting.
+const (
+	// ScheduleExploit is AFL's default energy assignment (perf score only).
+	ScheduleExploit PowerSchedule = "exploit"
+	// ScheduleFast raises energy exponentially for rarely exercised paths
+	// and decays it for over-fuzzed seeds: alpha * 2^s(i) / f(i).
+	ScheduleFast PowerSchedule = "fast"
+	// ScheduleExplore divides energy by the path's frequency: alpha / f(i).
+	ScheduleExplore PowerSchedule = "explore"
+	// ScheduleCOE skips entries on over-represented paths entirely until
+	// they become rare, then behaves like fast.
+	ScheduleCOE PowerSchedule = "coe"
+	// ScheduleLin scales linearly with the times fuzzed: alpha * s(i)/f(i).
+	ScheduleLin PowerSchedule = "lin"
+	// ScheduleQuad scales quadratically: alpha * s(i)^2 / f(i).
+	ScheduleQuad PowerSchedule = "quad"
+)
+
+// validSchedule reports whether s names a known schedule.
+func validSchedule(s PowerSchedule) bool {
+	switch s {
+	case "", ScheduleExploit, ScheduleFast, ScheduleExplore, ScheduleCOE, ScheduleLin, ScheduleQuad:
+		return true
+	default:
+		return false
+	}
+}
+
+// maxEnergyFactor caps schedule multipliers, mirroring AFLFast's MAX_FACTOR.
+const maxEnergyFactor = 32
+
+// scheduleFactor computes the energy multiplier (numerator, denominator
+// style folded to an int factor in [0, maxEnergyFactor]) for an entry. A
+// zero factor means "skip this entry now" (COE). fuzzLevel is s(i): how many
+// rounds the entry has been through; pathFreq is f(i): how many executions
+// hit the entry's path.
+func scheduleFactor(s PowerSchedule, fuzzLevel int, pathFreq, meanFreq uint64) int {
+	if pathFreq == 0 {
+		pathFreq = 1
+	}
+	clamp := func(v uint64) int {
+		if v < 1 {
+			return 1
+		}
+		if v > maxEnergyFactor {
+			return maxEnergyFactor
+		}
+		return int(v)
+	}
+	switch s {
+	case "", ScheduleExploit:
+		return 1
+	case ScheduleFast:
+		if fuzzLevel > 16 {
+			fuzzLevel = 16
+		}
+		return clamp((uint64(1) << uint(fuzzLevel)) / pathFreq)
+	case ScheduleExplore:
+		// Normalize against the mean so fresh campaigns are not starved.
+		if meanFreq == 0 {
+			meanFreq = 1
+		}
+		return clamp(meanFreq / pathFreq)
+	case ScheduleCOE:
+		if meanFreq > 0 && pathFreq > meanFreq {
+			return 0 // over-represented path: abort the round
+		}
+		if fuzzLevel > 16 {
+			fuzzLevel = 16
+		}
+		return clamp((uint64(1) << uint(fuzzLevel)) / pathFreq)
+	case ScheduleLin:
+		return clamp(uint64(fuzzLevel+1) * 4 / pathFreq)
+	case ScheduleQuad:
+		lvl := uint64(fuzzLevel + 1)
+		return clamp(lvl * lvl * 4 / pathFreq)
+	default:
+		return 1
+	}
+}
+
+// pathStats tracks per-path execution frequencies (AFLFast's n_fuzz table).
+// Only maintained when a non-default schedule is configured, because it
+// requires hashing the classified trace of EVERY execution.
+type pathStats struct {
+	freq  map[uint64]uint64
+	total uint64
+}
+
+func newPathStats() *pathStats {
+	return &pathStats{freq: make(map[uint64]uint64)}
+}
+
+// observe records one execution of the path with the given digest.
+func (ps *pathStats) observe(hash uint64) {
+	ps.freq[hash]++
+	ps.total++
+}
+
+// frequency returns f(i) for a path digest.
+func (ps *pathStats) frequency(hash uint64) uint64 { return ps.freq[hash] }
+
+// mean returns the average executions per distinct path.
+func (ps *pathStats) mean() uint64 {
+	if len(ps.freq) == 0 {
+		return 0
+	}
+	return ps.total / uint64(len(ps.freq))
+}
+
+// validateSchedule is called from applyDefaults.
+func validateSchedule(s PowerSchedule) error {
+	if !validSchedule(s) {
+		return fmt.Errorf("fuzzer: unknown power schedule %q", s)
+	}
+	return nil
+}

@@ -1,0 +1,117 @@
+package fuzzer
+
+import "testing"
+
+func TestValidateSchedule(t *testing.T) {
+	for _, s := range []PowerSchedule{"", ScheduleExploit, ScheduleFast, ScheduleExplore, ScheduleCOE, ScheduleLin, ScheduleQuad} {
+		if err := validateSchedule(s); err != nil {
+			t.Errorf("schedule %q rejected: %v", s, err)
+		}
+	}
+	if err := validateSchedule("bogus"); err == nil {
+		t.Error("bogus schedule accepted")
+	}
+}
+
+func TestScheduleFactorExploitIsNeutral(t *testing.T) {
+	if got := scheduleFactor(ScheduleExploit, 5, 100, 10); got != 1 {
+		t.Errorf("exploit factor = %d, want 1", got)
+	}
+	if got := scheduleFactor("", 5, 100, 10); got != 1 {
+		t.Errorf("default factor = %d, want 1", got)
+	}
+}
+
+func TestScheduleFastRewardsRarePaths(t *testing.T) {
+	rare := scheduleFactor(ScheduleFast, 4, 1, 100)
+	common := scheduleFactor(ScheduleFast, 4, 1000, 100)
+	if rare <= common {
+		t.Errorf("fast: rare path factor %d <= common path factor %d", rare, common)
+	}
+	if rare > maxEnergyFactor {
+		t.Errorf("factor %d exceeds cap", rare)
+	}
+}
+
+func TestScheduleFastGrowsWithFuzzLevel(t *testing.T) {
+	early := scheduleFactor(ScheduleFast, 0, 8, 10)
+	late := scheduleFactor(ScheduleFast, 8, 8, 10)
+	if late <= early {
+		t.Errorf("fast: level-8 factor %d <= level-0 factor %d", late, early)
+	}
+}
+
+func TestScheduleCOESkipsHotPaths(t *testing.T) {
+	if got := scheduleFactor(ScheduleCOE, 3, 200, 50); got != 0 {
+		t.Errorf("coe on over-represented path = %d, want 0 (skip)", got)
+	}
+	if got := scheduleFactor(ScheduleCOE, 3, 10, 50); got == 0 {
+		t.Error("coe on rare path skipped")
+	}
+}
+
+func TestScheduleLinQuadOrdering(t *testing.T) {
+	lin := scheduleFactor(ScheduleLin, 10, 4, 10)
+	quad := scheduleFactor(ScheduleQuad, 10, 4, 10)
+	if quad < lin {
+		t.Errorf("quad factor %d < lin factor %d at high fuzz level", quad, lin)
+	}
+}
+
+func TestScheduleFactorsBounded(t *testing.T) {
+	for _, s := range []PowerSchedule{ScheduleFast, ScheduleExplore, ScheduleCOE, ScheduleLin, ScheduleQuad} {
+		for lvl := 0; lvl < 20; lvl++ {
+			for _, freq := range []uint64{0, 1, 7, 1000, 1 << 40} {
+				got := scheduleFactor(s, lvl, freq, 100)
+				if got < 0 || got > maxEnergyFactor {
+					t.Fatalf("%s(lvl=%d,f=%d) = %d out of [0,%d]", s, lvl, freq, got, maxEnergyFactor)
+				}
+			}
+		}
+	}
+}
+
+func TestPathStats(t *testing.T) {
+	ps := newPathStats()
+	ps.observe(1)
+	ps.observe(1)
+	ps.observe(2)
+	if ps.frequency(1) != 2 || ps.frequency(2) != 1 || ps.frequency(3) != 0 {
+		t.Error("frequency accounting wrong")
+	}
+	if ps.mean() != 1 { // 3 execs / 2 paths = 1 (integer)
+		t.Errorf("mean = %d", ps.mean())
+	}
+}
+
+func TestCampaignWithFastSchedule(t *testing.T) {
+	prog := fuzzTarget(t)
+	f, err := New(prog, Config{Seed: 12, Scheme: SchemeBigMap, Schedule: ScheduleFast})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedCorpus(t, f, prog, 3)
+	if err := f.RunExecs(10000); err != nil {
+		t.Fatal(err)
+	}
+	st := f.Stats()
+	if st.EdgesDiscovered == 0 || st.Paths == 0 {
+		t.Errorf("fast-schedule campaign went nowhere: %+v", st)
+	}
+	// Fuzzed entries must carry their level.
+	leveled := 0
+	for _, e := range f.Queue().Entries() {
+		if e.FuzzLevel > 0 {
+			leveled++
+		}
+	}
+	if leveled == 0 {
+		t.Error("no entry recorded a fuzz level")
+	}
+}
+
+func TestNewRejectsBogusSchedule(t *testing.T) {
+	if _, err := New(fuzzTarget(t), Config{Schedule: "bogus"}); err == nil {
+		t.Error("bogus schedule accepted by New")
+	}
+}

@@ -1,0 +1,169 @@
+// Package lafintel implements the laf-intel compiler transformation on the
+// synthetic target IR: multi-byte comparisons are split into cascades of
+// single-byte comparisons and switch statements are deconstructed into
+// if-else chains (the paper's footnote 1 and §V-C).
+//
+// The point of the transformation is feedback granularity. A 4-byte magic
+// compare gives the fuzzer a single all-or-nothing branch, practically
+// unsolvable by random mutation (success probability 2^-32 per try). After
+// splitting, each matched prefix byte produces a new edge, so coverage
+// feedback rewards partial progress and the fuzzer solves the comparison
+// byte by byte. The price is more basic blocks and edges — more pressure on
+// the coverage map — which is exactly the regime BigMap exists for.
+package lafintel
+
+import (
+	"github.com/bigmap/bigmap/internal/rng"
+	"github.com/bigmap/bigmap/internal/target"
+)
+
+// Stats reports what the transformation did.
+type Stats struct {
+	// SplitCompares is the number of multi-byte comparisons split into
+	// byte cascades.
+	SplitCompares int
+	// SplitSwitches is the number of switch statements deconstructed into
+	// if-else chains.
+	SplitSwitches int
+	// AddedBlocks is the number of new basic blocks introduced.
+	AddedBlocks int
+	// StaticEdgesBefore and StaticEdgesAfter measure the edge
+	// amplification, the quantity that drives map pressure in §V-C.
+	StaticEdgesBefore int
+	StaticEdgesAfter  int
+}
+
+// Transform returns a new program with laf-intel applied. The input program
+// is not modified. Retained blocks keep their IDs (so crash sites remain
+// identifiable); newly introduced guard blocks receive fresh deterministic
+// IDs derived from seed. The transformed program is semantically equivalent:
+// any input produces the same execution outcome (status, crash site, call
+// stack), only the block-level trace is finer grained.
+func Transform(p *target.Program, seed uint64) (*target.Program, Stats) {
+	src := rng.New(seed ^ 0x1af1a71e1)
+	stats := Stats{StaticEdgesBefore: p.StaticEdges()}
+
+	out := &target.Program{
+		Name:     p.Name + "+laf",
+		Funcs:    make([]target.Func, len(p.Funcs)),
+		InputLen: p.InputLen,
+	}
+
+	for fi := range p.Funcs {
+		out.Funcs[fi] = transformFunc(&p.Funcs[fi], src, &stats)
+	}
+
+	stats.StaticEdgesAfter = out.StaticEdges()
+	return out, stats
+}
+
+// transformFunc rewrites one function. It computes the new index of every
+// original block first (insertions only ever add blocks immediately after
+// the block they expand, so all original forward edges stay forward), then
+// emits the expanded block list with targets remapped.
+func transformFunc(f *target.Func, src *rng.Source, stats *Stats) target.Func {
+	// Pass 1: sizes. A CompareWord of width w becomes w blocks; a Switch
+	// with k cases becomes k blocks (k >= 1); everything else stays 1.
+	remap := make([]int, len(f.Blocks)+1)
+	n := 0
+	for bi := range f.Blocks {
+		remap[bi] = n
+		switch nd := &f.Blocks[bi].Node; nd.Kind {
+		case target.KindCompareWord:
+			n += nd.Width
+		case target.KindSwitch:
+			k := len(nd.Cases)
+			if k == 0 {
+				k = 1
+			}
+			n += k
+		default:
+			n++
+		}
+	}
+	remap[len(f.Blocks)] = n
+
+	blocks := make([]target.Block, 0, n)
+	for bi := range f.Blocks {
+		blk := f.Blocks[bi]
+		nd := &blk.Node
+		switch nd.Kind {
+		case target.KindCompareWord:
+			// Byte cascade: guard w checks input[Pos+w]; any mismatch
+			// exits to the original false target; the last match
+			// continues to the original true target.
+			for w := 0; w < nd.Width; w++ {
+				guard := target.Block{
+					ID:   blk.ID,
+					Cost: 1,
+					Node: target.Node{
+						Kind: target.KindCompareByte,
+						Pos:  nd.Pos + w,
+						Val:  uint64(byte(nd.Val >> (8 * w))),
+						A:    remap[bi] + w + 1,
+						B:    remap[nd.B],
+					},
+				}
+				if w > 0 {
+					guard.ID = src.Uint32()
+				}
+				if w == nd.Width-1 {
+					guard.Node.A = remap[nd.A]
+				}
+				blocks = append(blocks, guard)
+			}
+			stats.SplitCompares++
+			stats.AddedBlocks += nd.Width - 1
+
+		case target.KindSwitch:
+			if len(nd.Cases) == 0 {
+				blocks = append(blocks, target.Block{
+					ID:   blk.ID,
+					Cost: blk.Cost,
+					Node: target.Node{Kind: target.KindJump, A: remap[nd.B]},
+				})
+				continue
+			}
+			// If-else chain: guard c tests case c's value; mismatch falls
+			// to the next guard, the last mismatch goes to the default.
+			for c := range nd.Cases {
+				guard := target.Block{
+					ID:   blk.ID,
+					Cost: 1,
+					Node: target.Node{
+						Kind: target.KindCompareByte,
+						Pos:  nd.Pos,
+						Val:  uint64(nd.Cases[c].Value),
+						A:    remap[nd.Cases[c].Target],
+						B:    remap[bi] + c + 1,
+					},
+				}
+				if c > 0 {
+					guard.ID = src.Uint32()
+				}
+				if c == len(nd.Cases)-1 {
+					guard.Node.B = remap[nd.B]
+				}
+				blocks = append(blocks, guard)
+			}
+			stats.SplitSwitches++
+			stats.AddedBlocks += len(nd.Cases) - 1
+
+		default:
+			nb := blk
+			nnd := &nb.Node
+			switch nnd.Kind {
+			case target.KindJump, target.KindSelfLoop:
+				nnd.A = remap[nnd.A]
+			case target.KindCompareByte:
+				nnd.A = remap[nnd.A]
+				nnd.B = remap[nnd.B]
+			case target.KindCall:
+				nnd.B = remap[nnd.B] // A is a function index
+			case target.KindCrash, target.KindHang, target.KindReturn:
+			}
+			blocks = append(blocks, nb)
+		}
+	}
+	return target.Func{Blocks: blocks}
+}

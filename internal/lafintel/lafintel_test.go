@@ -1,0 +1,227 @@
+package lafintel
+
+import (
+	"testing"
+
+	"github.com/bigmap/bigmap/internal/rng"
+	"github.com/bigmap/bigmap/internal/target"
+)
+
+func genProgram(t *testing.T) *target.Program {
+	t.Helper()
+	prog, err := target.Generate(target.GenSpec{
+		Name:           "laftest",
+		Seed:           99,
+		NumFuncs:       6,
+		BlocksPerFunc:  16,
+		InputLen:       64,
+		BranchFraction: 0.5,
+		MagicCompares:  8,
+		MagicWidth:     4,
+		BonusBlocks:    3,
+		Switches:       4,
+		SwitchFanout:   6,
+		Loops:          2,
+		LoopMax:        8,
+		CrashSites:     2,
+		CrashDepth:     2,
+		HangSites:      1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestTransformRemovesWordComparesAndSwitches(t *testing.T) {
+	prog := genProgram(t)
+	laf, stats := Transform(prog, 1)
+
+	for fi := range laf.Funcs {
+		for bi := range laf.Funcs[fi].Blocks {
+			switch laf.Funcs[fi].Blocks[bi].Node.Kind {
+			case target.KindCompareWord:
+				t.Fatalf("CompareWord survived at f%d b%d", fi, bi)
+			case target.KindSwitch:
+				t.Fatalf("Switch survived at f%d b%d", fi, bi)
+			}
+		}
+	}
+	if stats.SplitCompares < 8 {
+		t.Errorf("SplitCompares = %d, want >= 8", stats.SplitCompares)
+	}
+	if stats.SplitSwitches != 4 {
+		t.Errorf("SplitSwitches = %d, want 4", stats.SplitSwitches)
+	}
+	if stats.AddedBlocks == 0 {
+		t.Error("no blocks added")
+	}
+}
+
+func TestTransformAmplifiesStaticEdges(t *testing.T) {
+	prog := genProgram(t)
+	_, stats := Transform(prog, 1)
+	if stats.StaticEdgesAfter <= stats.StaticEdgesBefore {
+		t.Errorf("edges %d -> %d: no amplification", stats.StaticEdgesBefore, stats.StaticEdgesAfter)
+	}
+}
+
+// TestTransformPreservesSemantics is the central property: for any input,
+// the transformed program must produce the same outcome (status, crash site,
+// call stack, and the same branch decisions) as the original.
+func TestTransformPreservesSemantics(t *testing.T) {
+	prog := genProgram(t)
+	laf, _ := Transform(prog, 1)
+
+	ipOrig := target.NewInterp(prog)
+	ipLaf := target.NewInterp(laf)
+	src := rng.New(5)
+
+	inputs := make([][]byte, 0, 300)
+	for i := 0; i < 200; i++ {
+		in := make([]byte, prog.InputLen)
+		src.Bytes(in)
+		inputs = append(inputs, in)
+	}
+	// Include seeds, which reach deeper paths.
+	inputs = append(inputs, prog.SampleSeeds(src, 100)...)
+
+	for i, in := range inputs {
+		a := ipOrig.Run(in, target.NopTracer{}, 1<<22)
+		b := ipLaf.Run(in, target.NopTracer{}, 1<<22)
+		if a.Status != b.Status {
+			t.Fatalf("input %d: status %v vs %v", i, a.Status, b.Status)
+		}
+		if a.Status == target.StatusCrash {
+			if a.CrashSite != b.CrashSite {
+				t.Fatalf("input %d: crash site %d vs %d", i, a.CrashSite, b.CrashSite)
+			}
+			if len(a.Stack) != len(b.Stack) {
+				t.Fatalf("input %d: stack depth %d vs %d", i, len(a.Stack), len(b.Stack))
+			}
+		}
+	}
+}
+
+func TestTransformWellFormed(t *testing.T) {
+	prog := genProgram(t)
+	laf, _ := Transform(prog, 1)
+
+	for fi := range laf.Funcs {
+		blocks := laf.Funcs[fi].Blocks
+		for bi := range blocks {
+			nd := &blocks[bi].Node
+			check := func(tgt int, what string) {
+				t.Helper()
+				if tgt <= bi || tgt >= len(blocks) {
+					t.Fatalf("f%d b%d: %s target %d out of forward range", fi, bi, what, tgt)
+				}
+			}
+			switch nd.Kind {
+			case target.KindJump, target.KindSelfLoop:
+				check(nd.A, "A")
+			case target.KindCompareByte:
+				check(nd.A, "true")
+				check(nd.B, "false")
+			case target.KindCall:
+				check(nd.B, "ret")
+				if nd.A <= fi || nd.A >= len(laf.Funcs) {
+					t.Fatalf("f%d b%d: call target %d", fi, bi, nd.A)
+				}
+			}
+		}
+	}
+}
+
+func TestTransformDeterministic(t *testing.T) {
+	prog := genProgram(t)
+	a, _ := Transform(prog, 7)
+	b, _ := Transform(prog, 7)
+	if a.NumBlocks() != b.NumBlocks() {
+		t.Fatal("non-deterministic block count")
+	}
+	for fi := range a.Funcs {
+		for bi := range a.Funcs[fi].Blocks {
+			if a.Funcs[fi].Blocks[bi].ID != b.Funcs[fi].Blocks[bi].ID {
+				t.Fatalf("non-deterministic ID at f%d b%d", fi, bi)
+			}
+		}
+	}
+}
+
+func TestTransformDoesNotMutateOriginal(t *testing.T) {
+	prog := genProgram(t)
+	before := prog.StaticEdges()
+	nBefore := prog.NumBlocks()
+	_, _ = Transform(prog, 3)
+	if prog.StaticEdges() != before || prog.NumBlocks() != nBefore {
+		t.Error("Transform mutated the input program")
+	}
+	// Original must still contain its word compares.
+	found := false
+	for fi := range prog.Funcs {
+		for bi := range prog.Funcs[fi].Blocks {
+			if prog.Funcs[fi].Blocks[bi].Node.Kind == target.KindCompareWord {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("original program lost its CompareWord nodes")
+	}
+}
+
+func TestTransformPreservesCrashSiteIDs(t *testing.T) {
+	prog := genProgram(t)
+	laf, _ := Transform(prog, 1)
+	a := prog.CrashSites()
+	b := laf.CrashSites()
+	if len(a) != len(b) {
+		t.Fatalf("crash site counts differ: %d vs %d", len(a), len(b))
+	}
+	got := map[uint32]bool{}
+	for _, s := range b {
+		got[s] = true
+	}
+	for _, s := range a {
+		if !got[s] {
+			t.Errorf("crash site %d lost by transformation", s)
+		}
+	}
+}
+
+// TestSplitComparesAreSolvableIncrementally demonstrates the laf-intel
+// effect the paper's §V-C composition experiment relies on: after the
+// transformation, matching a prefix of a magic value yields new coverage,
+// whereas before it does not.
+func TestSplitComparesAreSolvableIncrementally(t *testing.T) {
+	// A single 4-byte magic compare program.
+	prog := &target.Program{
+		Name:     "magic",
+		InputLen: 8,
+		Funcs: []target.Func{{Blocks: []target.Block{
+			{ID: 1, Cost: 1, Node: target.Node{Kind: target.KindCompareWord, Pos: 0, Val: 0x44434241, Width: 4, A: 1, B: 2}},
+			{ID: 2, Cost: 1, Node: target.Node{Kind: target.KindJump, A: 2}},
+			{ID: 3, Cost: 1, Node: target.Node{Kind: target.KindReturn}},
+		}}},
+	}
+	laf, _ := Transform(prog, 1)
+
+	countBlocks := func(p *target.Program, in []byte) int {
+		return target.NewInterp(p).Run(in, target.NopTracer{}, 1000).Blocks
+	}
+
+	none := []byte{0, 0, 0, 0}
+	half := []byte{'A', 'B', 0, 0}
+	full := []byte{'A', 'B', 'C', 'D'}
+
+	// Original: half-match looks identical to no match.
+	if countBlocks(prog, none) != countBlocks(prog, half) {
+		t.Error("original program distinguishes partial matches; expected all-or-nothing")
+	}
+	// Transformed: half-match reaches deeper than no match, full deeper still.
+	if !(countBlocks(laf, none) < countBlocks(laf, half) && countBlocks(laf, half) < countBlocks(laf, full)) {
+		t.Errorf("laf program path lengths none=%d half=%d full=%d; want strictly increasing",
+			countBlocks(laf, none), countBlocks(laf, half), countBlocks(laf, full))
+	}
+}

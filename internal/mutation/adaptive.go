@@ -1,0 +1,98 @@
+package mutation
+
+// Adaptive operator scheduling, MOpt-lite: the havoc stage tracks which of
+// its operators contributed to interesting test cases and biases future
+// operator selection toward the productive ones. Credit is assigned to every
+// operator in the mutant's stack (the standard approximation — individual
+// attribution inside a stacked mutation is not observable).
+//
+// The scheduler keeps a floor probability for every operator so none starves:
+// operator usefulness drifts over a campaign (block ops matter early,
+// byte-level ops matter when solving comparisons), and a starved operator
+// could never recover.
+
+// numHavocOps is the number of havoc operator kinds in Havoc's switch.
+const numHavocOps = 15
+
+// adaptiveState tracks per-operator statistics.
+type adaptiveState struct {
+	used    [numHavocOps]uint64
+	success [numHavocOps]uint64
+	lastOps []int
+}
+
+// EnableAdaptive switches the mutator to weighted operator selection.
+// Call RewardLast after evaluating each Havoc mutant to close the loop.
+func (m *Mutator) EnableAdaptive() {
+	if m.adaptive == nil {
+		m.adaptive = &adaptiveState{}
+	}
+}
+
+// AdaptiveEnabled reports whether adaptive scheduling is on.
+func (m *Mutator) AdaptiveEnabled() bool { return m.adaptive != nil }
+
+// RewardLast credits (or not) the operators used by the most recent Havoc
+// call. Call exactly once per mutant, after its evaluation.
+func (m *Mutator) RewardLast(interesting bool) {
+	if m.adaptive == nil {
+		return
+	}
+	for _, op := range m.adaptive.lastOps {
+		m.adaptive.used[op]++
+		if interesting {
+			m.adaptive.success[op]++
+		}
+	}
+	m.adaptive.lastOps = m.adaptive.lastOps[:0]
+}
+
+// OperatorStats returns (used, success) counters per havoc operator, for
+// reporting and tests.
+func (m *Mutator) OperatorStats() (used, success []uint64) {
+	if m.adaptive == nil {
+		return nil, nil
+	}
+	u := make([]uint64, numHavocOps)
+	s := make([]uint64, numHavocOps)
+	copy(u, m.adaptive.used[:])
+	copy(s, m.adaptive.success[:])
+	return u, s
+}
+
+// pickOp selects the next havoc operator: uniformly when adaptive mode is
+// off, success-rate weighted (with a 25% uniform floor) when on.
+func (m *Mutator) pickOp() int {
+	if m.adaptive == nil {
+		return m.src.Intn(numHavocOps)
+	}
+	// A quarter of picks stay uniform so no operator starves.
+	if m.src.Intn(4) == 0 {
+		op := m.src.Intn(numHavocOps)
+		m.adaptive.lastOps = append(m.adaptive.lastOps, op)
+		return op
+	}
+	// Weight = (success+1)/(used+numHavocOps): Laplace-smoothed success
+	// rate. Sampled via cumulative weights scaled to integers.
+	var weights [numHavocOps]uint64
+	var total uint64
+	for i := 0; i < numHavocOps; i++ {
+		w := (m.adaptive.success[i] + 1) * 1000 / (m.adaptive.used[i] + numHavocOps)
+		if w == 0 {
+			w = 1
+		}
+		weights[i] = w
+		total += w
+	}
+	pick := m.src.Uint64() % total
+	op := 0
+	for i := 0; i < numHavocOps; i++ {
+		if pick < weights[i] {
+			op = i
+			break
+		}
+		pick -= weights[i]
+	}
+	m.adaptive.lastOps = append(m.adaptive.lastOps, op)
+	return op
+}

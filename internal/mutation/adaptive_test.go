@@ -1,0 +1,130 @@
+package mutation
+
+import (
+	"testing"
+
+	"github.com/bigmap/bigmap/internal/rng"
+)
+
+func TestAdaptiveDisabledByDefault(t *testing.T) {
+	m := New(rng.New(1), nil)
+	if m.AdaptiveEnabled() {
+		t.Error("adaptive on by default")
+	}
+	m.RewardLast(true) // must be a safe no-op
+	if used, _ := m.OperatorStats(); used != nil {
+		t.Error("stats exist without adaptive mode")
+	}
+}
+
+func TestAdaptiveTracksUsage(t *testing.T) {
+	m := New(rng.New(2), [][]byte{[]byte("tok")})
+	m.EnableAdaptive()
+	base := make([]byte, 64)
+	for i := 0; i < 200; i++ {
+		m.Havoc(base)
+		m.RewardLast(i%3 == 0)
+	}
+	used, success := m.OperatorStats()
+	var totalUsed, totalSuccess uint64
+	for i := range used {
+		totalUsed += used[i]
+		totalSuccess += success[i]
+		if success[i] > used[i] {
+			t.Fatalf("op %d: success %d > used %d", i, success[i], used[i])
+		}
+	}
+	if totalUsed == 0 {
+		t.Fatal("no operator usage recorded")
+	}
+	if totalSuccess == 0 {
+		t.Fatal("no successes credited")
+	}
+}
+
+func TestAdaptiveBiasesTowardSuccessfulOps(t *testing.T) {
+	m := New(rng.New(3), nil)
+	m.EnableAdaptive()
+	base := make([]byte, 64)
+
+	// Phase 1: reward only mutants whose stack used operator 0 at least
+	// once (simulating "bit flips are what works on this target").
+	for i := 0; i < 3000; i++ {
+		m.Havoc(base)
+		hit := false
+		for _, op := range m.adaptive.lastOps {
+			if op == 0 {
+				hit = true
+				break
+			}
+		}
+		m.RewardLast(hit)
+	}
+	used, _ := m.OperatorStats()
+
+	// Phase 2: with training done, operator 0 should now be drawn more
+	// often than the average operator.
+	before := used[0]
+	var beforeTotal uint64
+	for _, u := range used {
+		beforeTotal += u
+	}
+	for i := 0; i < 2000; i++ {
+		m.Havoc(base)
+		m.RewardLast(false)
+	}
+	used2, _ := m.OperatorStats()
+	gained0 := used2[0] - before
+	var gainedTotal uint64
+	for _, u := range used2 {
+		gainedTotal += u
+	}
+	gainedTotal -= beforeTotal
+
+	avgGain := gainedTotal / numHavocOps
+	if gained0 <= avgGain {
+		t.Errorf("trained operator drawn %d times vs average %d; no bias", gained0, avgGain)
+	}
+}
+
+func TestAdaptiveFloorPreventsStarvation(t *testing.T) {
+	m := New(rng.New(4), [][]byte{[]byte("tok")})
+	m.EnableAdaptive()
+	base := make([]byte, 64)
+	// Never reward anything: every operator must still get drawn.
+	for i := 0; i < 5000; i++ {
+		m.Havoc(base)
+		m.RewardLast(false)
+	}
+	used, _ := m.OperatorStats()
+	for op, u := range used {
+		if u == 0 {
+			t.Errorf("operator %d starved", op)
+		}
+	}
+}
+
+func TestAdaptiveHavocStillMutates(t *testing.T) {
+	m := New(rng.New(5), nil)
+	m.EnableAdaptive()
+	base := make([]byte, 64)
+	changed := 0
+	for i := 0; i < 100; i++ {
+		out := m.Havoc(base)
+		if len(out) != len(base) {
+			changed++
+			m.RewardLast(false)
+			continue
+		}
+		for j := range out {
+			if out[j] != base[j] {
+				changed++
+				break
+			}
+		}
+		m.RewardLast(false)
+	}
+	if changed < 90 {
+		t.Errorf("adaptive havoc left input unchanged in %d/100 trials", 100-changed)
+	}
+}

@@ -1,0 +1,229 @@
+package mutation
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"github.com/bigmap/bigmap/internal/rng"
+)
+
+func TestDeterministicCountMatchesEnumeration(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 7, 16, 33} {
+		m := New(rng.New(1), [][]byte{[]byte("AB"), []byte("magic")})
+		// 0xAB appears in no interesting-value table and in no dictionary
+		// token, so no candidate is skipped and the exact bound is met.
+		base := bytes.Repeat([]byte{0xAB}, n)
+		got := 0
+		m.Deterministic(base, func([]byte) bool {
+			got++
+			return true
+		})
+		want := m.DeterministicCount(n)
+		if got != want {
+			t.Errorf("n=%d: enumerated %d candidates, DeterministicCount says %d", n, got, want)
+		}
+	}
+}
+
+func TestDeterministicCountIsUpperBound(t *testing.T) {
+	// A zero-filled base triggers the no-op skip for interesting8's 0 and
+	// must stay strictly below the bound without exceeding it.
+	for _, n := range []int{1, 8, 32} {
+		m := New(rng.New(1), nil)
+		got := 0
+		m.Deterministic(make([]byte, n), func([]byte) bool {
+			got++
+			return true
+		})
+		bound := m.DeterministicCount(n)
+		if got > bound {
+			t.Errorf("n=%d: enumerated %d > bound %d", n, got, bound)
+		}
+		if got == bound {
+			t.Errorf("n=%d: expected skips for zero base, got the full bound %d", n, bound)
+		}
+	}
+}
+
+func TestDeterministicProducesDistinctFirstStage(t *testing.T) {
+	// The first 8 candidates of bitflip 1/1 on a 1-byte input are the 8
+	// single-bit flips, each distinct from the base.
+	m := New(rng.New(1), nil)
+	base := []byte{0x00}
+	var got []byte
+	i := 0
+	m.Deterministic(base, func(c []byte) bool {
+		if i < 8 {
+			got = append(got, c[0])
+		}
+		i++
+		return i < 8
+	})
+	want := []byte{1, 2, 4, 8, 16, 32, 64, 128}
+	if !bytes.Equal(got, want) {
+		t.Errorf("bitflip candidates = %v, want %v", got, want)
+	}
+}
+
+func TestDeterministicRestoresBetweenCandidates(t *testing.T) {
+	// Each candidate must differ from base in a bounded region only: no
+	// mutation may leak into the next candidate.
+	m := New(rng.New(1), nil)
+	base := []byte{0xAA, 0xBB, 0xCC, 0xDD, 0xEE, 0xFF, 0x11, 0x22}
+	m.Deterministic(base, func(c []byte) bool {
+		diff := 0
+		for i := range c {
+			if c[i] != base[i] {
+				diff++
+			}
+		}
+		if diff == 0 {
+			t.Fatal("candidate identical to base")
+		}
+		if diff > 4 {
+			t.Fatalf("candidate differs in %d bytes; stages mutate at most 4", diff)
+		}
+		return true
+	})
+}
+
+func TestDeterministicEmptyInput(t *testing.T) {
+	m := New(rng.New(1), nil)
+	called := false
+	m.Deterministic(nil, func([]byte) bool {
+		called = true
+		return true
+	})
+	if called {
+		t.Error("Deterministic produced candidates for empty input")
+	}
+}
+
+func TestDeterministicEarlyStop(t *testing.T) {
+	m := New(rng.New(1), nil)
+	calls := 0
+	m.Deterministic(make([]byte, 64), func([]byte) bool {
+		calls++
+		return calls < 10
+	})
+	if calls != 10 {
+		t.Errorf("early stop after %d calls, want 10", calls)
+	}
+}
+
+func TestHavocAlwaysReturnsSomething(t *testing.T) {
+	m := New(rng.New(2), [][]byte{[]byte("tok")})
+	property := func(base []byte) bool {
+		out := m.Havoc(base)
+		return out != nil && len(out) < maxInputLen+64
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHavocMutates(t *testing.T) {
+	m := New(rng.New(3), nil)
+	base := make([]byte, 128)
+	changed := 0
+	const trials = 100
+	for i := 0; i < trials; i++ {
+		out := m.Havoc(base)
+		if !bytes.Equal(out, base) {
+			changed++
+		}
+	}
+	if changed < trials*9/10 {
+		t.Errorf("havoc left input unchanged in %d/%d trials", trials-changed, trials)
+	}
+}
+
+func TestHavocOnEmptyInput(t *testing.T) {
+	m := New(rng.New(4), nil)
+	out := m.Havoc(nil)
+	if len(out) == 0 {
+		t.Error("havoc of empty input produced empty output")
+	}
+}
+
+func TestHavocDeterministicGivenSeed(t *testing.T) {
+	base := []byte("determinism matters for experiments")
+	a := New(rng.New(77), nil).Havoc(base)
+	b := New(rng.New(77), nil).Havoc(base)
+	if !bytes.Equal(a, b) {
+		t.Error("same-seed havoc differs")
+	}
+}
+
+func TestSpliceBasics(t *testing.T) {
+	m := New(rng.New(5), nil)
+
+	if m.Splice([]byte{1, 2}, []byte{3, 4, 5, 6, 7, 8}) != nil {
+		t.Error("spliced a too-short input")
+	}
+	same := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	if m.Splice(same, same) != nil {
+		t.Error("spliced identical inputs")
+	}
+
+	a := []byte{0, 0, 0, 0, 0, 0, 0, 0}
+	b := []byte{0, 9, 9, 9, 9, 9, 9, 0}
+	out := m.Splice(a, b)
+	if out == nil {
+		t.Fatal("failed to splice divergent inputs")
+	}
+	if len(out) != len(b) {
+		t.Errorf("splice length %d, want %d", len(out), len(b))
+	}
+	// Result must start with a's prefix and end with b's suffix.
+	if out[0] != a[0] || out[len(out)-1] != b[len(b)-1] {
+		t.Errorf("splice boundaries wrong: %v", out)
+	}
+	// And must contain material from both (some 0 prefix, some 9s).
+	has9 := bytes.IndexByte(out, 9) >= 0
+	if !has9 {
+		t.Errorf("splice contains nothing from b: %v", out)
+	}
+}
+
+func TestSpliceSplitPointWithinDivergence(t *testing.T) {
+	m := New(rng.New(6), nil)
+	a := []byte{1, 1, 5, 5, 5, 5, 1, 1, 1, 1}
+	b := []byte{1, 1, 7, 7, 7, 7, 1, 1, 1, 1}
+	for i := 0; i < 50; i++ {
+		out := m.Splice(a, b)
+		if out == nil {
+			t.Fatal("splice failed")
+		}
+		// Split must fall in (first, last) = (2, 5): prefix from a, suffix
+		// from b; so out[2] is from a and out[5] is from b.
+		if out[2] != 5 || out[5] != 7 {
+			t.Fatalf("split outside divergent region: %v", out)
+		}
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	property := func(v uint32, be bool) bool {
+		p := make([]byte, 4)
+		storeUint(p, uint64(v), 4, be)
+		return loadUint(p, 4, be) == uint64(v)
+	}
+	if err := quick.Check(property, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStoreEndiannessDiffers(t *testing.T) {
+	le := make([]byte, 2)
+	be := make([]byte, 2)
+	storeUint(le, 0x1234, 2, false)
+	storeUint(be, 0x1234, 2, true)
+	if le[0] != 0x34 || le[1] != 0x12 {
+		t.Errorf("little endian = %v", le)
+	}
+	if be[0] != 0x12 || be[1] != 0x34 {
+		t.Errorf("big endian = %v", be)
+	}
+}

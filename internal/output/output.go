@@ -1,0 +1,163 @@
+// Package output persists fuzzing sessions in an AFL-style output
+// directory, so campaigns can be inspected with ordinary tools and corpora
+// can be re-used across runs:
+//
+//	<dir>/queue/id:000042,src:havoc        queue entries
+//	<dir>/crashes/id:000003,sig:deadbeef   one input per unique crash bucket
+//	<dir>/hangs/                           reserved
+//	<dir>/fuzzer_stats                     key = value summary
+//	<dir>/plot_data                        CSV time series for plotting
+package output
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/bigmap/bigmap/internal/corpus"
+	"github.com/bigmap/bigmap/internal/crash"
+	"github.com/bigmap/bigmap/internal/fuzzer"
+)
+
+// Session manages one output directory.
+type Session struct {
+	dir      string
+	plotFile *os.File
+	started  time.Time
+}
+
+// NewSession creates (or reuses) the output directory layout rooted at dir.
+func NewSession(dir string) (*Session, error) {
+	for _, sub := range []string{"queue", "crashes", "hangs"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("output: create %s: %w", sub, err)
+		}
+	}
+	plot, err := os.OpenFile(filepath.Join(dir, "plot_data"),
+		os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("output: open plot_data: %w", err)
+	}
+	st, err := plot.Stat()
+	if err == nil && st.Size() == 0 {
+		fmt.Fprintln(plot, "# relative_time,execs,paths,edges,crashes_unique,hangs")
+	}
+	return &Session{dir: dir, plotFile: plot, started: time.Now()}, nil
+}
+
+// Dir returns the session root.
+func (s *Session) Dir() string { return s.dir }
+
+// Close releases the session's file handles.
+func (s *Session) Close() error {
+	if s.plotFile == nil {
+		return nil
+	}
+	err := s.plotFile.Close()
+	s.plotFile = nil
+	return err
+}
+
+// SaveQueue writes every queue entry as an individual file with AFL-style
+// names encoding index and provenance.
+func (s *Session) SaveQueue(entries []*corpus.Entry) error {
+	for i, e := range entries {
+		name := fmt.Sprintf("id:%06d,src:%s", i, sanitize(e.FoundBy))
+		if e.Favored {
+			name += ",+fav"
+		}
+		path := filepath.Join(s.dir, "queue", name)
+		if err := os.WriteFile(path, e.Input, 0o644); err != nil {
+			return fmt.Errorf("output: save queue entry %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// SaveCrashes writes one reproducer input per unique crash bucket, with the
+// bucket key in the filename as the signature.
+func (s *Session) SaveCrashes(records []*crash.Record) error {
+	for i, rec := range records {
+		name := fmt.Sprintf("id:%06d,sig:%016x,site:%d,depth:%d",
+			i, rec.Key, rec.Site, rec.StackDepth)
+		path := filepath.Join(s.dir, "crashes", name)
+		if err := os.WriteFile(path, rec.Input, 0o644); err != nil {
+			return fmt.Errorf("output: save crash %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// WriteStats dumps the AFL-style fuzzer_stats summary.
+func (s *Session) WriteStats(st fuzzer.Stats, scheme string, mapSize int) error {
+	var b strings.Builder
+	elapsed := time.Since(s.started).Seconds()
+	write := func(k string, v any) { fmt.Fprintf(&b, "%-18s: %v\n", k, v) }
+	write("run_time_sec", fmt.Sprintf("%.1f", elapsed))
+	write("execs_done", st.Execs)
+	if elapsed > 0 {
+		write("execs_per_sec", fmt.Sprintf("%.0f", float64(st.Execs)/elapsed))
+	}
+	write("paths_total", st.Paths)
+	write("pending_favs", st.PendingFavored)
+	write("edges_found", st.EdgesDiscovered)
+	write("used_key", st.UsedKeys)
+	write("map_scheme", scheme)
+	write("map_size", mapSize)
+	write("crashes_total", st.Crashes)
+	write("crashes_unique", st.UniqueCrashes)
+	write("crashes_unique_afl", st.UniqueCrashesAFL)
+	write("hangs_total", st.Hangs)
+	return os.WriteFile(filepath.Join(s.dir, "fuzzer_stats"), []byte(b.String()), 0o644)
+}
+
+// AppendPlot appends one plot_data sample.
+func (s *Session) AppendPlot(st fuzzer.Stats) error {
+	_, err := fmt.Fprintf(s.plotFile, "%.1f,%d,%d,%d,%d,%d\n",
+		time.Since(s.started).Seconds(), st.Execs, st.Paths,
+		st.EdgesDiscovered, st.UniqueCrashes, st.Hangs)
+	return err
+}
+
+// LoadCorpus reads every file in dir (typically a previous session's queue
+// directory) as a seed corpus, sorted by filename for determinism.
+func LoadCorpus(dir string) ([][]byte, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("output: read corpus dir: %w", err)
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	corpusOut := make([][]byte, 0, len(names))
+	for _, name := range names {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, fmt.Errorf("output: read %s: %w", name, err)
+		}
+		corpusOut = append(corpusOut, data)
+	}
+	return corpusOut, nil
+}
+
+// sanitize keeps filenames shell-friendly.
+func sanitize(s string) string {
+	if s == "" {
+		return "unknown"
+	}
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -1,0 +1,173 @@
+package output
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/bigmap/bigmap/internal/corpus"
+	"github.com/bigmap/bigmap/internal/crash"
+	"github.com/bigmap/bigmap/internal/fuzzer"
+)
+
+func newSession(t *testing.T) *Session {
+	t.Helper()
+	s, err := NewSession(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestNewSessionCreatesLayout(t *testing.T) {
+	s := newSession(t)
+	for _, sub := range []string{"queue", "crashes", "hangs"} {
+		if fi, err := os.Stat(filepath.Join(s.Dir(), sub)); err != nil || !fi.IsDir() {
+			t.Errorf("missing directory %s: %v", sub, err)
+		}
+	}
+	if _, err := os.Stat(filepath.Join(s.Dir(), "plot_data")); err != nil {
+		t.Errorf("missing plot_data: %v", err)
+	}
+}
+
+func TestSaveQueueAndLoadCorpus(t *testing.T) {
+	s := newSession(t)
+	entries := []*corpus.Entry{
+		{Input: []byte("alpha"), FoundBy: "seed", Favored: true},
+		{Input: []byte("beta"), FoundBy: "havoc"},
+		{Input: []byte("gamma"), FoundBy: "weird/name"},
+	}
+	if err := s.SaveQueue(entries); err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := LoadCorpus(filepath.Join(s.Dir(), "queue"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 3 {
+		t.Fatalf("loaded %d entries, want 3", len(loaded))
+	}
+	// Sorted by id, so order is preserved.
+	if string(loaded[0]) != "alpha" || string(loaded[1]) != "beta" || string(loaded[2]) != "gamma" {
+		t.Errorf("corpus round trip broken: %q", loaded)
+	}
+
+	// Filenames carry provenance and favored markers, sanitized.
+	files, err := os.ReadDir(filepath.Join(s.Dir(), "queue"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, f := range files {
+		names = append(names, f.Name())
+	}
+	joined := strings.Join(names, " ")
+	if !strings.Contains(joined, "src:seed") || !strings.Contains(joined, "+fav") {
+		t.Errorf("filenames missing metadata: %v", names)
+	}
+	if strings.Contains(joined, "/") && !strings.Contains(joined, "weird_name") {
+		t.Errorf("provenance not sanitized: %v", names)
+	}
+}
+
+func TestSaveCrashes(t *testing.T) {
+	s := newSession(t)
+	d := crash.NewDeduper()
+	d.Observe(42, []uint32{1, 2}, []byte("boom"))
+	d.Observe(43, []uint32{1}, []byte("bang"))
+	if err := s.SaveCrashes(d.Records()); err != nil {
+		t.Fatal(err)
+	}
+	files, err := os.ReadDir(filepath.Join(s.Dir(), "crashes"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 2 {
+		t.Fatalf("saved %d crash files, want 2", len(files))
+	}
+	for _, f := range files {
+		if !strings.Contains(f.Name(), "sig:") || !strings.Contains(f.Name(), "site:") {
+			t.Errorf("crash filename missing metadata: %s", f.Name())
+		}
+	}
+}
+
+func TestWriteStatsAndPlot(t *testing.T) {
+	s := newSession(t)
+	st := fuzzer.Stats{
+		Execs:           12345,
+		Paths:           10,
+		EdgesDiscovered: 99,
+		UniqueCrashes:   2,
+	}
+	if err := s.WriteStats(st, "bigmap", 1<<21); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(s.Dir(), "fuzzer_stats"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"execs_done", "12345", "map_scheme", "bigmap", "crashes_unique"} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("fuzzer_stats missing %q:\n%s", want, data)
+		}
+	}
+
+	if err := s.AppendPlot(st); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	plot, err := os.ReadFile(filepath.Join(s.Dir(), "plot_data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(plot)), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "#") {
+		t.Errorf("plot_data malformed:\n%s", plot)
+	}
+	if !strings.Contains(lines[1], "12345") {
+		t.Errorf("plot sample missing execs:\n%s", plot)
+	}
+}
+
+func TestLoadCorpusMissingDir(t *testing.T) {
+	if _, err := LoadCorpus(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing directory accepted")
+	}
+}
+
+func TestSessionReuseAppendsPlot(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewSession(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.AppendPlot(fuzzer.Stats{Execs: 1}); err != nil {
+		t.Fatal(err)
+	}
+	s1.Close()
+
+	s2, err := NewSession(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.AppendPlot(fuzzer.Stats{Execs: 2}); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+
+	plot, err := os.ReadFile(filepath.Join(dir, "plot_data"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(plot)), "\n")
+	if len(lines) != 3 { // header + two samples
+		t.Errorf("plot_data lines = %d, want 3:\n%s", len(lines), plot)
+	}
+}

@@ -1,0 +1,225 @@
+// Package parallel runs multi-instance fuzzing campaigns in the
+// master–secondary configuration of the paper's §V-D: one master instance
+// (the only one that may run the deterministic stages) plus secondaries, all
+// fuzzing the same target with independent coverage maps and seed pools,
+// periodically cross-pollinating their corpora.
+//
+// Instances run concurrently, one goroutine each, so wall-clock throughput
+// measurements capture the real scaling behaviour (shared last-level cache
+// and memory-bandwidth pressure included — the effect Figure 9 plots).
+// Synchronization happens at round boundaries with no instance running,
+// which keeps every Fuzzer single-threaded, like AFL's on-disk sync.
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/bigmap/bigmap/internal/crash"
+	"github.com/bigmap/bigmap/internal/fuzzer"
+	"github.com/bigmap/bigmap/internal/target"
+)
+
+// ErrNoInstances is returned when a campaign is configured with < 1
+// instance.
+var ErrNoInstances = errors.New("parallel: campaign needs at least one instance")
+
+// Config parameterizes a campaign.
+type Config struct {
+	// Instances is the number of concurrent fuzzers (the paper sweeps 1,
+	// 4, 8, 12).
+	Instances int
+	// SyncEvery is the per-instance exec budget of one round; corpora are
+	// exchanged between rounds. 0 means 20,000.
+	SyncEvery uint64
+	// Fuzzer is the per-instance template. Seed is perturbed per instance;
+	// RunDeterministic is forced on for the master and off for
+	// secondaries, per the standard configuration.
+	Fuzzer fuzzer.Config
+	// MasterDeterministic enables the deterministic stages on instance 0.
+	MasterDeterministic bool
+}
+
+// Campaign is a running multi-instance fuzzing session.
+type Campaign struct {
+	fuzzers  []*fuzzer.Fuzzer
+	cfg      Config
+	seenUpTo [][]int // seenUpTo[i][j]: how many of j's queue entries i has imported
+}
+
+// NewCampaign builds the instances and dry-runs the shared seed corpus on
+// each.
+func NewCampaign(prog *target.Program, cfg Config, seeds [][]byte) (*Campaign, error) {
+	if cfg.Instances < 1 {
+		return nil, ErrNoInstances
+	}
+	if cfg.SyncEvery == 0 {
+		cfg.SyncEvery = 20000
+	}
+	fuzzers := make([]*fuzzer.Fuzzer, cfg.Instances)
+	for i := range fuzzers {
+		fcfg := cfg.Fuzzer
+		fcfg.Seed = fcfg.Seed*31 + uint64(i) + 1
+		fcfg.RunDeterministic = cfg.MasterDeterministic && i == 0
+		f, err := fuzzer.New(prog, fcfg)
+		if err != nil {
+			return nil, fmt.Errorf("instance %d: %w", i, err)
+		}
+		accepted := 0
+		for _, s := range seeds {
+			if err := f.AddSeed(s); err == nil {
+				accepted++
+			}
+		}
+		if accepted == 0 {
+			return nil, fmt.Errorf("instance %d: %w", i, fuzzer.ErrNoSeeds)
+		}
+		fuzzers[i] = f
+	}
+	seen := make([][]int, cfg.Instances)
+	for i := range seen {
+		seen[i] = make([]int, cfg.Instances)
+		for j := range seen[i] {
+			// Seed entries are already present everywhere.
+			seen[i][j] = fuzzers[j].Queue().Len()
+		}
+	}
+	return &Campaign{fuzzers: fuzzers, cfg: cfg, seenUpTo: seen}, nil
+}
+
+// Instances returns the per-instance fuzzers (for inspection).
+func (c *Campaign) Instances() []*fuzzer.Fuzzer { return c.fuzzers }
+
+// RunExecs fuzzes until every instance has executed at least perInstance
+// test cases, in concurrent rounds of SyncEvery execs with corpus exchange
+// in between.
+func (c *Campaign) RunExecs(perInstance uint64) error {
+	for !c.allReached(perInstance) {
+		if err := c.round(func(f *fuzzer.Fuzzer) error {
+			if f.Execs() >= perInstance {
+				return nil
+			}
+			need := perInstance - f.Execs()
+			if need > c.cfg.SyncEvery {
+				need = c.cfg.SyncEvery
+			}
+			return f.RunExecs(need)
+		}); err != nil {
+			return err
+		}
+		c.sync()
+	}
+	return nil
+}
+
+// RunFor fuzzes for roughly d of wall-clock time. Rounds are time-sliced
+// (at most half a second each) rather than exec-counted so that slow
+// configurations cannot overshoot the budget by a whole round, and corpora
+// still cross-pollinate between slices.
+func (c *Campaign) RunFor(d time.Duration) error {
+	deadline := time.Now().Add(d)
+	for {
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return nil
+		}
+		slice := remaining
+		if slice > 500*time.Millisecond {
+			slice = 500 * time.Millisecond
+		}
+		if err := c.round(func(f *fuzzer.Fuzzer) error {
+			return f.RunFor(slice)
+		}); err != nil {
+			return err
+		}
+		c.sync()
+	}
+}
+
+// round runs fn concurrently on every instance and waits for all.
+func (c *Campaign) round(fn func(*fuzzer.Fuzzer) error) error {
+	errs := make([]error, len(c.fuzzers))
+	var wg sync.WaitGroup
+	for i, f := range c.fuzzers {
+		wg.Add(1)
+		go func(i int, f *fuzzer.Fuzzer) {
+			defer wg.Done()
+			errs[i] = fn(f)
+		}(i, f)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// sync cross-pollinates: every instance re-executes the queue entries its
+// peers found since the last exchange and keeps the ones that add local
+// coverage, like AFL's sync_fuzzers.
+func (c *Campaign) sync() {
+	if len(c.fuzzers) < 2 {
+		return
+	}
+	// Snapshot peer queues first so imports during this exchange don't
+	// cascade within a single round.
+	snapshots := make([][][]byte, len(c.fuzzers))
+	for j, f := range c.fuzzers {
+		entries := f.Queue().Entries()
+		inputs := make([][]byte, len(entries))
+		for k, e := range entries {
+			inputs[k] = e.Input
+		}
+		snapshots[j] = inputs
+	}
+	for i, f := range c.fuzzers {
+		for j := range c.fuzzers {
+			if i == j {
+				continue
+			}
+			inputs := snapshots[j]
+			for k := c.seenUpTo[i][j]; k < len(inputs); k++ {
+				f.ImportInput(inputs[k])
+			}
+			c.seenUpTo[i][j] = len(inputs)
+		}
+	}
+}
+
+func (c *Campaign) allReached(perInstance uint64) bool {
+	for _, f := range c.fuzzers {
+		if f.Execs() < perInstance {
+			return false
+		}
+	}
+	return true
+}
+
+// Report aggregates campaign-level results.
+type Report struct {
+	// TotalExecs sums executions across instances.
+	TotalExecs uint64
+	// PerInstance holds each instance's stats snapshot.
+	PerInstance []fuzzer.Stats
+	// UniqueCrashes counts Crashwalk buckets across all instances (crash
+	// keys are program-level, so the union is exact).
+	UniqueCrashes int
+	// MaxEdges is the best single-instance edge coverage.
+	MaxEdges int
+}
+
+// Report snapshots the campaign.
+func (c *Campaign) Report() Report {
+	rep := Report{PerInstance: make([]fuzzer.Stats, len(c.fuzzers))}
+	union := crash.NewDeduper()
+	for i, f := range c.fuzzers {
+		st := f.Stats()
+		rep.PerInstance[i] = st
+		rep.TotalExecs += st.Execs
+		if st.EdgesDiscovered > rep.MaxEdges {
+			rep.MaxEdges = st.EdgesDiscovered
+		}
+		union.Merge(f.Crashes())
+	}
+	rep.UniqueCrashes = union.Unique()
+	return rep
+}

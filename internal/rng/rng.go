@@ -1,0 +1,141 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used throughout the fuzzer. Determinism matters: every
+// experiment in the benchmark harness must be reproducible from a single
+// campaign seed, so all randomness in the repository flows through a seeded
+// Source rather than math/rand's global state.
+//
+// The generator is xoshiro256** seeded via splitmix64, the combination
+// recommended by Blackman & Vigna. It is not cryptographically secure and is
+// not meant to be.
+package rng
+
+import "math/bits"
+
+// Source is a deterministic xoshiro256** PRNG. The zero value is not usable;
+// construct with New. A Source is not safe for concurrent use; give each
+// goroutine its own (see Split).
+type Source struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a Source seeded from the given seed using splitmix64, which
+// guarantees a well-mixed non-zero internal state for any seed value.
+func New(seed uint64) *Source {
+	var s Source
+	s.Seed(seed)
+	return &s
+}
+
+// Seed resets the generator to the state derived from seed.
+func (s *Source) Seed(seed uint64) {
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	s.s0, s.s1, s.s2, s.s3 = next(), next(), next(), next()
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (s *Source) Uint64() uint64 {
+	result := bits.RotateLeft64(s.s1*5, 7) * 9
+	t := s.s1 << 17
+	s.s2 ^= s.s0
+	s.s3 ^= s.s1
+	s.s1 ^= s.s2
+	s.s0 ^= s.s3
+	s.s2 ^= t
+	s.s3 = bits.RotateLeft64(s.s3, 45)
+	return result
+}
+
+// Uint32 returns the next 32 uniformly distributed bits.
+func (s *Source) Uint32() uint32 {
+	return uint32(s.Uint64() >> 32)
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0,
+// matching the math/rand contract; callers in this repository always pass
+// positive bounds derived from non-empty containers.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	v := s.Uint64()
+	hi, lo := bits.Mul64(v, uint64(n))
+	if lo < uint64(n) {
+		thresh := uint64(-n) % uint64(n)
+		for lo < thresh {
+			v = s.Uint64()
+			hi, lo = bits.Mul64(v, uint64(n))
+		}
+	}
+	return int(hi)
+}
+
+// Uint32n returns a uniformly distributed uint32 in [0, n). n must be > 0.
+func (s *Source) Uint32n(n uint32) uint32 {
+	if n == 0 {
+		panic("rng: Uint32n called with zero n")
+	}
+	return uint32(s.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability 1/2.
+func (s *Source) Bool() bool {
+	return s.Uint64()&1 == 1
+}
+
+// Chance returns true with probability 1/n (n > 0). It mirrors AFL's
+// UR(n) == 0 idiom used for probabilistic stage skipping.
+func (s *Source) Chance(n int) bool {
+	return s.Intn(n) == 0
+}
+
+// Split derives an independent child Source. The child's stream is a
+// deterministic function of the parent state at the time of the call, so a
+// fixed call sequence yields a fixed set of child streams. Use this to give
+// each fuzzing instance or benchmark its own generator.
+func (s *Source) Split() *Source {
+	return New(s.Uint64() ^ 0xa0761d6478bd642f)
+}
+
+// Shuffle permutes the first n elements using swap, Fisher-Yates style.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Bytes fills p with pseudo-random bytes.
+func (s *Source) Bytes(p []byte) {
+	i := 0
+	for ; i+8 <= len(p); i += 8 {
+		v := s.Uint64()
+		p[i] = byte(v)
+		p[i+1] = byte(v >> 8)
+		p[i+2] = byte(v >> 16)
+		p[i+3] = byte(v >> 24)
+		p[i+4] = byte(v >> 32)
+		p[i+5] = byte(v >> 40)
+		p[i+6] = byte(v >> 48)
+		p[i+7] = byte(v >> 56)
+	}
+	if i < len(p) {
+		v := s.Uint64()
+		for ; i < len(p); i++ {
+			p[i] = byte(v)
+			v >>= 8
+		}
+	}
+}

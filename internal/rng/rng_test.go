@@ -1,0 +1,169 @@
+package rng
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("%d/100 identical outputs across different seeds", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(7)
+	property := func(n uint16) bool {
+		bound := int(n%1000) + 1
+		v := s.Intn(bound)
+		return v >= 0 && v < bound
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnCoversRange(t *testing.T) {
+	s := New(99)
+	seen := make([]bool, 8)
+	for i := 0; i < 1000; i++ {
+		seen[s.Intn(8)] = true
+	}
+	for v, ok := range seen {
+		if !ok {
+			t.Errorf("value %d never produced in 1000 draws", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 1000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestUint32nBounds(t *testing.T) {
+	s := New(5)
+	for i := 0; i < 1000; i++ {
+		if v := s.Uint32n(17); v >= 17 {
+			t.Fatalf("Uint32n(17) = %d", v)
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(11)
+	c1 := parent.Split()
+	c2 := parent.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("%d/100 identical outputs across split children", same)
+	}
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	a := New(11).Split()
+	b := New(11).Split()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("split children not reproducible")
+		}
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	s := New(13)
+	vals := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	s.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	seen := make([]bool, 10)
+	for _, v := range vals {
+		if seen[v] {
+			t.Fatalf("duplicate value %d after shuffle", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestBytesFillsAllLengths(t *testing.T) {
+	s := New(17)
+	for n := 0; n <= 33; n++ {
+		p := make([]byte, n)
+		s.Bytes(p)
+	}
+	// Statistical sanity: a long buffer should not be all zeros.
+	long := make([]byte, 1024)
+	s.Bytes(long)
+	zeros := 0
+	for _, b := range long {
+		if b == 0 {
+			zeros++
+		}
+	}
+	if zeros > 100 {
+		t.Errorf("%d/1024 zero bytes; generator looks broken", zeros)
+	}
+}
+
+func TestChanceProbability(t *testing.T) {
+	s := New(23)
+	hits := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		if s.Chance(4) {
+			hits++
+		}
+	}
+	// Expect ~2500; allow generous slack.
+	if hits < 2000 || hits > 3000 {
+		t.Errorf("Chance(4) hit %d/%d times, want ~2500", hits, trials)
+	}
+}
+
+func TestBoolBalance(t *testing.T) {
+	s := New(29)
+	trues := 0
+	for i := 0; i < 10000; i++ {
+		if s.Bool() {
+			trues++
+		}
+	}
+	if trues < 4500 || trues > 5500 {
+		t.Errorf("Bool true %d/10000 times", trues)
+	}
+}

@@ -1,0 +1,128 @@
+// Package tmin minimizes crashing inputs, the role afl-tmin plays in an AFL
+// workflow: shrink and normalize a reproducer while preserving the crash
+// bucket (call stack + faulting address), so triage reads a minimal witness
+// rather than a havoc-mangled blob.
+package tmin
+
+import (
+	"errors"
+
+	"github.com/bigmap/bigmap/internal/crash"
+	"github.com/bigmap/bigmap/internal/target"
+)
+
+// ErrNotACrash is returned when the input to minimize does not crash at all.
+var ErrNotACrash = errors.New("tmin: input does not crash")
+
+// DefaultMaxExecs bounds a minimization run.
+const DefaultMaxExecs = 4096
+
+// Stats reports what minimization achieved.
+type Stats struct {
+	// InLen and OutLen are the input sizes before and after.
+	InLen, OutLen int
+	// NormalizedBytes counts bytes rewritten to the filler value.
+	NormalizedBytes int
+	// Execs is the number of executions spent.
+	Execs int
+	// Key identifies the preserved crash bucket.
+	Key uint64
+}
+
+// Minimizer owns the replay machinery. Not safe for concurrent use.
+type Minimizer struct {
+	interp   *target.Interp
+	budget   uint64
+	maxExecs int
+}
+
+// New creates a minimizer for prog. budget is the per-execution cycle budget
+// (0 = 1<<22); maxExecs bounds the whole minimization (0 = DefaultMaxExecs).
+func New(prog *target.Program, budget uint64, maxExecs int) *Minimizer {
+	if budget == 0 {
+		budget = 1 << 22
+	}
+	if maxExecs == 0 {
+		maxExecs = DefaultMaxExecs
+	}
+	return &Minimizer{
+		interp:   target.NewInterp(prog),
+		budget:   budget,
+		maxExecs: maxExecs,
+	}
+}
+
+// crashKey replays input and returns its crash bucket, or ok=false for
+// non-crashing inputs.
+func (m *Minimizer) crashKey(input []byte, stats *Stats) (uint64, bool) {
+	stats.Execs++
+	res := m.interp.Run(input, target.NopTracer{}, m.budget)
+	if res.Status != target.StatusCrash {
+		return 0, false
+	}
+	return crash.KeyOf(res.CrashSite, res.Stack), true
+}
+
+// Minimize shrinks and normalizes a crashing input while preserving its
+// crash bucket. The algorithm follows afl-tmin: coarse-to-fine block
+// removal, then per-byte normalization to a filler value.
+func (m *Minimizer) Minimize(input []byte) ([]byte, Stats, error) {
+	var stats Stats
+	stats.InLen = len(input)
+
+	key, ok := m.crashKey(input, &stats)
+	if !ok {
+		return nil, stats, ErrNotACrash
+	}
+	stats.Key = key
+
+	cur := make([]byte, len(input))
+	copy(cur, input)
+
+	// Phase 1: block removal, halving the chunk size each round.
+	for chunk := nextPow2(len(cur)) / 2; chunk >= 1 && stats.Execs < m.maxExecs; chunk /= 2 {
+		pos := 0
+		for pos < len(cur) && stats.Execs < m.maxExecs {
+			end := pos + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			candidate := append(append([]byte{}, cur[:pos]...), cur[end:]...)
+			if len(candidate) == 0 {
+				pos += chunk
+				continue
+			}
+			if k, ok := m.crashKey(candidate, &stats); ok && k == key {
+				cur = candidate
+			} else {
+				pos += chunk
+			}
+		}
+	}
+
+	// Phase 2: byte normalization to a constant filler.
+	const filler = 'A'
+	for i := 0; i < len(cur) && stats.Execs < m.maxExecs; i++ {
+		if cur[i] == filler {
+			continue
+		}
+		orig := cur[i]
+		cur[i] = filler
+		if k, ok := m.crashKey(cur, &stats); ok && k == key {
+			stats.NormalizedBytes++
+		} else {
+			cur[i] = orig
+		}
+	}
+
+	stats.OutLen = len(cur)
+	return cur, stats, nil
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

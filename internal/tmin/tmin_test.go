@@ -1,0 +1,123 @@
+package tmin
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/bigmap/bigmap/internal/target"
+)
+
+// crashProgram crashes iff input[4] == 'X' && input[9] == 'Y'; everything
+// else in the input is irrelevant padding.
+func crashProgram() *target.Program {
+	return &target.Program{
+		Name:     "tmin",
+		InputLen: 16,
+		Funcs: []target.Func{{Blocks: []target.Block{
+			{ID: 1, Cost: 1, Node: target.Node{Kind: target.KindCompareByte, Pos: 4, Val: 'X', A: 1, B: 3}},
+			{ID: 2, Cost: 1, Node: target.Node{Kind: target.KindCompareByte, Pos: 9, Val: 'Y', A: 2, B: 3}},
+			{ID: 3, Cost: 1, Node: target.Node{Kind: target.KindCrash}},
+			{ID: 4, Cost: 1, Node: target.Node{Kind: target.KindReturn}},
+		}}},
+	}
+}
+
+func TestMinimizeRejectsBenignInput(t *testing.T) {
+	m := New(crashProgram(), 0, 0)
+	if _, _, err := m.Minimize(make([]byte, 16)); !errors.Is(err, ErrNotACrash) {
+		t.Errorf("err = %v, want ErrNotACrash", err)
+	}
+}
+
+func TestMinimizeShrinksAndNormalizes(t *testing.T) {
+	m := New(crashProgram(), 0, 0)
+	input := []byte("qqqqXqqqqYzzzzzz") // crash witness with noise
+	out, stats, err := m.Minimize(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.InLen != 16 {
+		t.Errorf("InLen = %d", stats.InLen)
+	}
+	// Positions 4 and 9 must survive; the minimal witness is 10 bytes
+	// (indices 0..9) since trailing bytes are droppable but leading
+	// positions shift semantics when removed.
+	if stats.OutLen != 10 {
+		t.Errorf("OutLen = %d, want 10 (indices 0..9), output %q", stats.OutLen, out)
+	}
+	if out[4] != 'X' || out[9] != 'Y' {
+		t.Errorf("minimized witness lost the crash condition: %q", out)
+	}
+	// All the other bytes normalize to the filler.
+	for i, b := range out {
+		if i == 4 || i == 9 {
+			continue
+		}
+		if b != 'A' {
+			t.Errorf("byte %d = %q, want normalized 'A'", i, b)
+		}
+	}
+	if stats.NormalizedBytes == 0 {
+		t.Error("no bytes normalized")
+	}
+	// The minimized input must still crash in the same bucket.
+	m2 := New(crashProgram(), 0, 0)
+	var s2 Stats
+	k, ok := m2.crashKey(out, &s2)
+	if !ok || k != stats.Key {
+		t.Error("minimized input changed the crash bucket")
+	}
+}
+
+func TestMinimizeRespectsExecBudget(t *testing.T) {
+	m := New(crashProgram(), 0, 10)
+	input := []byte("qqqqXqqqqYzzzzzz")
+	_, stats, err := m.Minimize(input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Execs > 12 {
+		t.Errorf("spent %d execs with a budget of 10", stats.Execs)
+	}
+}
+
+func TestMinimizeAlreadyMinimal(t *testing.T) {
+	m := New(crashProgram(), 0, 0)
+	minimal := []byte("AAAAXAAAAY")
+	out, stats, err := m.Minimize(minimal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.OutLen != 10 || out[4] != 'X' || out[9] != 'Y' {
+		t.Errorf("already-minimal input degraded: %q", out)
+	}
+}
+
+func TestMinimizePreservesDifferentBuckets(t *testing.T) {
+	// Two crash sites; minimization of a site-A witness must not drift to
+	// site B.
+	prog := &target.Program{
+		Name:     "twosites",
+		InputLen: 8,
+		Funcs: []target.Func{{Blocks: []target.Block{
+			{ID: 1, Cost: 1, Node: target.Node{Kind: target.KindCompareByte, Pos: 0, Val: 'a', A: 1, B: 2}},
+			{ID: 2, Cost: 1, Node: target.Node{Kind: target.KindCrash}},
+			{ID: 3, Cost: 1, Node: target.Node{Kind: target.KindCompareByte, Pos: 1, Val: 'b', A: 3, B: 4}},
+			{ID: 4, Cost: 1, Node: target.Node{Kind: target.KindCrash}},
+			{ID: 5, Cost: 1, Node: target.Node{Kind: target.KindReturn}},
+		}}},
+	}
+	m := New(prog, 0, 0)
+	out, stats, err := m.Minimize([]byte{'z', 'b', 0, 0, 0, 0, 0, 0}) // crashes at site 4
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The witness must keep input[1]=='b' and must NOT become input[0]=='a'.
+	if len(out) < 2 || out[1] != 'b' {
+		t.Errorf("witness lost its bucket condition: %q", out)
+	}
+	if out[0] == 'a' {
+		t.Error("minimization drifted to a different crash site")
+	}
+	_ = stats
+}
