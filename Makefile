@@ -1,0 +1,25 @@
+# Development targets; CI (.github/workflows/ci.yml) runs `make check`'s
+# steps verbatim.
+
+.PHONY: check build test vet race fuzz bench
+
+check: vet build race
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+# Short native-fuzzing smoke of the interpreter safety contract.
+fuzz:
+	go test -fuzz=FuzzInterp -fuzztime=30s ./internal/target/
+
+bench:
+	go test -bench=. -benchtime=1x ./...

@@ -1,0 +1,84 @@
+package target_test
+
+import (
+	"testing"
+
+	"github.com/bigmap/bigmap/internal/collafl"
+	"github.com/bigmap/bigmap/internal/core"
+	"github.com/bigmap/bigmap/internal/covreport"
+	"github.com/bigmap/bigmap/internal/rng"
+	"github.com/bigmap/bigmap/internal/target"
+)
+
+// mapTracer feeds the Visit stream through a coverage metric into a map —
+// the same wiring the executor uses.
+type mapTracer struct {
+	metric core.Metric
+	cov    core.Map
+}
+
+func (t *mapTracer) Visit(b uint32)   { t.cov.Add(t.metric.Visit(b)) }
+func (t *mapTracer) EnterCall(uint32) {}
+func (t *mapTracer) LeaveCall()       {}
+
+// TestTracerMapAgreesWithCovreport cross-checks the two coverage observers
+// of the same Tracer stream: edges accumulated into an AFL-style map under
+// CollAFL's collision-free sizing must count exactly what covreport's
+// exact-edge replay counts for the same corpus. Any disagreement means a
+// backend is seeing a different run than the interpreter performed.
+func TestTracerMapAgreesWithCovreport(t *testing.T) {
+	p, ok := target.ProfileByName("zlib")
+	if !ok {
+		t.Fatal("zlib profile missing")
+	}
+	prog, err := target.Generate(p.Spec(0.05))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A corpus with variety: benign seeds, random inputs, crash witnesses.
+	src := rng.New(31337)
+	corpus := prog.SampleSeeds(src, 8)
+	for i := 0; i < 16; i++ {
+		in := make([]byte, prog.InputLen)
+		src.Bytes(in)
+		corpus = append(corpus, in)
+	}
+	for attempt := 0; attempt < 500 && len(corpus) < 28; attempt++ {
+		if w, ok := prog.SynthesizeCrashWitness(src); ok {
+			corpus = append(corpus, w)
+		}
+	}
+
+	assign, err := collafl.Assign(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov, err := core.NewAFLMap(assign.MapSize())
+	if err != nil {
+		t.Fatal(err)
+	}
+	metric := assign.NewMetric()
+	ip := target.NewInterp(prog)
+	tracer := &mapTracer{metric: metric, cov: cov}
+
+	report := covreport.New(prog, 0)
+	// Accumulate the whole corpus into one map without resets: distinct
+	// nonzero slots == distinct transitions observed.
+	for _, input := range corpus {
+		metric.Begin()
+		ip.Run(input, tracer, 0)
+		report.Add(input)
+	}
+	if metric.Misses() != 0 {
+		t.Fatalf("collision-free assignment missed %d runtime transitions", metric.Misses())
+	}
+	// The metric additionally keys the sentinel->entry transition, which
+	// covreport's pairwise replay by construction does not record.
+	if got, want := cov.CountNonZero(), report.Edges()+1; got != want {
+		t.Fatalf("AFL-style map saw %d edges, covreport exact replay saw %d (+1 entry edge)", got, want)
+	}
+	if report.Edges() > prog.StaticEdges() {
+		t.Fatalf("observed %d edges exceeds the static enumeration %d", report.Edges(), prog.StaticEdges())
+	}
+}

@@ -1,0 +1,75 @@
+package target_test
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/bigmap/bigmap/internal/rng"
+	"github.com/bigmap/bigmap/internal/target"
+)
+
+// FuzzInterp drives the interpreter with arbitrary inputs against a fixed
+// generated program (the same CFG shape the benchmarks use: calls, switches,
+// self-loops, magic compares, crash and hang sites) and asserts the safety
+// contract every caller relies on: no panics, termination within the cycle
+// budget, and bit-for-bit determinism.
+func FuzzInterp(f *testing.F) {
+	prog, err := target.Generate(target.GenSpec{
+		Name: "fuzz", Seed: 1234, NumFuncs: 4, BlocksPerFunc: 10,
+		InputLen: 32, BranchFraction: 0.6,
+		MagicCompares: 2, MagicWidth: 4, BonusBlocks: 4,
+		GatedCallFraction: 0.5,
+		Switches:          2, SwitchFanout: 4,
+		Loops: 2, LoopMax: 8,
+		CrashSites: 2, CrashDepth: 1,
+		HangSites: 1,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	ip := target.NewInterp(prog)
+
+	f.Add([]byte{})
+	f.Add(make([]byte, 32))
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+	for _, s := range prog.SampleSeeds(rng.New(7), 4) {
+		f.Add(s)
+	}
+
+	const budget = 1 << 14
+	f.Fuzz(func(t *testing.T, input []byte) {
+		var first traceTracer
+		res := ip.Run(input, &first, budget)
+		if res.Cycles > budget {
+			t.Fatalf("run consumed %d cycles, budget %d", res.Cycles, budget)
+		}
+		switch res.Status {
+		case target.StatusOK, target.StatusCrash, target.StatusHang:
+		default:
+			t.Fatalf("impossible status %v", res.Status)
+		}
+		if res.Status == target.StatusCrash && res.CrashSite == 0 {
+			t.Fatal("crash without a crash site")
+		}
+		if res.Blocks != len(first.ids) {
+			t.Fatalf("Result.Blocks = %d but tracer saw %d visits", res.Blocks, len(first.ids))
+		}
+		var again traceTracer
+		res2 := ip.Run(input, &again, budget)
+		if res.Status != res2.Status || res.Cycles != res2.Cycles ||
+			res.Blocks != res2.Blocks || res.CrashSite != res2.CrashSite {
+			t.Fatalf("nondeterministic result: %+v vs %+v", res, res2)
+		}
+		if !bytes.Equal(idsToBytes(first.ids), idsToBytes(again.ids)) {
+			t.Fatal("nondeterministic visit trace")
+		}
+	})
+}
+
+func idsToBytes(ids []uint32) []byte {
+	out := make([]byte, 0, 4*len(ids))
+	for _, id := range ids {
+		out = append(out, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return out
+}

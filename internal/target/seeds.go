@@ -1,0 +1,197 @@
+package target
+
+import "github.com/bigmap/bigmap/internal/rng"
+
+// walkPolicy tunes the randomized structural walk used to synthesize inputs.
+type walkPolicy struct {
+	// matchByte is the probability of satisfying a one-byte compare by
+	// writing its operand into the input.
+	matchByte float64
+	// matchWord is the probability of solving a multi-byte compare (the
+	// magic roadblocks) the same way.
+	matchWord float64
+	// takeCase is the probability of selecting some switch arm instead of
+	// the default edge.
+	takeCase float64
+}
+
+// walk performs one randomized traversal of the program, editing input in
+// place so the taken path actually executes: at each data-dependent node it
+// flips a biased coin and writes input bytes that realize the chosen edge.
+// It reports whether the walk terminated in a KindCrash block. The walk is
+// purely structural — it works on any well-formed program, including
+// laf-intel-transformed ones — and is step-capped so adversarial CFGs cannot
+// spin it forever.
+func (p *Program) walk(src *rng.Source, input []byte, pol walkPolicy) bool {
+	if len(p.Funcs) == 0 || len(p.Funcs[0].Blocks) == 0 {
+		return false
+	}
+	type ret struct{ fn, cont int }
+	var stack []ret
+	fn, bi := 0, 0
+	maxSteps := 4*p.NumBlocks() + 64
+
+	setByte := func(pos int, v byte) {
+		if pos >= 0 && pos < len(input) {
+			input[pos] = v
+		}
+	}
+	avoidByte := func(pos int, v byte) {
+		if at(input, pos) == v {
+			setByte(pos, v+1+byte(src.Intn(254)))
+		}
+	}
+
+	for step := 0; step < maxSteps; step++ {
+		if fn < 0 || fn >= len(p.Funcs) {
+			return false
+		}
+		blocks := p.Funcs[fn].Blocks
+		if bi < 0 || bi >= len(blocks) {
+			return false
+		}
+		nd := &blocks[bi].Node
+		switch nd.Kind {
+		case KindJump:
+			bi = nd.A
+
+		case KindCompareByte:
+			if src.Float64() < pol.matchByte {
+				setByte(nd.Pos, byte(nd.Val))
+				bi = nd.A
+			} else {
+				avoidByte(nd.Pos, byte(nd.Val))
+				bi = nd.B
+			}
+
+		case KindCompareWord:
+			w := nd.Width
+			if w < 1 {
+				w = 1
+			} else if w > 8 {
+				w = 8
+			}
+			if src.Float64() < pol.matchWord {
+				for i := 0; i < w; i++ {
+					setByte(nd.Pos+i, byte(nd.Val>>(8*i)))
+				}
+				bi = nd.A
+			} else {
+				// Guarantee the mismatch edge by perturbing one byte.
+				avoidByte(nd.Pos, byte(nd.Val))
+				bi = nd.B
+			}
+
+		case KindSwitch:
+			if n := len(nd.Cases); n > 0 && src.Float64() < pol.takeCase {
+				c := nd.Cases[src.Intn(n)]
+				setByte(nd.Pos, c.Value)
+				bi = c.Target
+			} else {
+				for i := 0; i < 8; i++ {
+					hit := false
+					for _, c := range nd.Cases {
+						if at(input, nd.Pos) == c.Value {
+							hit = true
+							break
+						}
+					}
+					if !hit {
+						break
+					}
+					setByte(nd.Pos, byte(src.Intn(256)))
+				}
+				bi = nd.B
+			}
+
+		case KindSelfLoop:
+			bi = nd.A
+
+		case KindCall:
+			callee := nd.A
+			if callee < 0 || callee >= len(p.Funcs) || len(p.Funcs[callee].Blocks) == 0 {
+				bi = nd.B
+				break
+			}
+			if len(stack) >= maxCallDepth {
+				return false
+			}
+			stack = append(stack, ret{fn: fn, cont: nd.B})
+			fn, bi = callee, 0
+
+		case KindCrash:
+			return true
+
+		case KindHang:
+			return false
+
+		case KindReturn:
+			if len(stack) == 0 {
+				return false
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			fn, bi = top.fn, top.cont
+
+		default:
+			return false
+		}
+	}
+	return false
+}
+
+// SampleSeeds draws n benign seed inputs from src: each is a randomized
+// structural walk (mildly branch-taking, never solving multi-byte magic
+// compares — those stay as roadblocks for the fuzzer) verified against the
+// interpreter, retried until it neither crashes nor hangs. The all-zero
+// input — benign on every generated program — is the fallback of last resort,
+// so n inputs always come back.
+func (p *Program) SampleSeeds(src *rng.Source, n int) [][]byte {
+	if n <= 0 {
+		return nil
+	}
+	ln := p.InputLen
+	if ln < 1 {
+		ln = 1
+	}
+	ip := NewInterp(p)
+	pol := walkPolicy{matchByte: 0.35, matchWord: 0, takeCase: 0.4}
+	seeds := make([][]byte, 0, n)
+	for len(seeds) < n {
+		var input []byte
+		found := false
+		for attempt := 0; attempt < 24 && !found; attempt++ {
+			input = make([]byte, ln)
+			src.Bytes(input)
+			p.walk(src, input, pol)
+			if ip.Run(input, NopTracer{}, 0).Status == StatusOK {
+				found = true
+			}
+		}
+		if !found {
+			input = make([]byte, ln)
+		}
+		seeds = append(seeds, input)
+	}
+	return seeds
+}
+
+// SynthesizeCrashWitness attempts to construct an input reaching some planted
+// crash site via one aggressive randomized walk. It returns ok=false when the
+// walk ends anywhere else; callers draw repeatedly from src and must verify
+// the witness against the interpreter (the walk proves reachability of a
+// KindCrash block, and the interpreter is the ground truth for the rest of
+// the run's semantics).
+func (p *Program) SynthesizeCrashWitness(src *rng.Source) ([]byte, bool) {
+	ln := p.InputLen
+	if ln < 1 {
+		ln = 1
+	}
+	input := make([]byte, ln)
+	src.Bytes(input)
+	pol := walkPolicy{matchByte: 0.5, matchWord: 0.25, takeCase: 0.35}
+	if !p.walk(src, input, pol) {
+		return nil, false
+	}
+	return input, true
+}
