@@ -1,7 +1,7 @@
 # Development targets; CI (.github/workflows/ci.yml) runs `make check`'s
 # steps verbatim.
 
-.PHONY: check build test vet race fuzz bench
+.PHONY: check build test vet race fuzz bench bench-smoke bench-all
 
 check: vet build race
 
@@ -21,5 +21,22 @@ race:
 fuzz:
 	go test -fuzz=FuzzInterp -fuzztime=30s ./internal/target/
 
+# Hot-path benchmark sweep (word kernels, batched exec loop, Fig. 3 map ops)
+# with allocation counts, emitted as the machine-readable BENCH_2.json.
+BENCH_PKGS    := ./internal/core/ ./internal/executor/ .
+BENCH_FILTER  := 'Kernel|ExecLoop|Fig3MapOps'
+BENCH_TIME    ?= 200x
+
 bench:
-	go test -bench=. -benchtime=1x ./...
+	go test -run '^$$' -bench $(BENCH_FILTER) -benchmem -benchtime=$(BENCH_TIME) $(BENCH_PKGS) | tee bench.out
+	go run ./cmd/bigmap-bench benchjson -o BENCH_2.json < bench.out
+	@rm -f bench.out
+
+# CI smoke: same sweep at -benchtime=10x, report discarded after parsing —
+# proves every benchmark still runs and the JSON pipeline still parses.
+bench-smoke:
+	go test -run '^$$' -bench $(BENCH_FILTER) -benchmem -benchtime=10x $(BENCH_PKGS) | go run ./cmd/bigmap-bench benchjson -o /dev/null
+
+# Every benchmark in the repo, one iteration (sanity, not measurement).
+bench-all:
+	go test -run '^$$' -bench=. -benchtime=1x ./...

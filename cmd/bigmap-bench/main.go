@@ -19,6 +19,7 @@
 //	bigmap-bench ensemble [flags]            # §VI future work: ensemble vs stacking
 //	bigmap-bench schedules [flags]           # AFLFast power schedules on BigMap
 //	bigmap-bench all [flags]                 # everything above
+//	bigmap-bench benchjson [-o file]         # stdin: `go test -bench` text -> JSON report
 //
 // Common flags:
 //
@@ -29,6 +30,7 @@
 //	-seed n      campaign seed (default 1)
 //	-trials n    average grid cells over n runs (the paper averages 3)
 //	-csv         emit CSV instead of an aligned table
+//	-json        emit one JSON report (benchjson schema) instead of text tables
 //	-q           suppress per-cell progress lines
 package main
 
@@ -39,6 +41,7 @@ import (
 	"strings"
 
 	"github.com/bigmap/bigmap/internal/bench"
+	"github.com/bigmap/bigmap/internal/benchjson"
 )
 
 func main() {
@@ -54,6 +57,10 @@ func run(args []string) error {
 	}
 	sub, rest := args[0], args[1:]
 
+	if sub == "benchjson" {
+		return runBenchJSON(rest)
+	}
+
 	fs := flag.NewFlagSet(sub, flag.ContinueOnError)
 	scale := fs.Float64("scale", 0.05, "benchmark scale")
 	execs := fs.Uint64("execs", 20000, "execs per configuration")
@@ -62,6 +69,7 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "campaign seed")
 	trials := fs.Int("trials", 1, "average grid cells over this many runs (paper uses 3)")
 	csv := fs.Bool("csv", false, "emit CSV")
+	jsonOut := fs.Bool("json", false, "emit one JSON report (benchjson schema) instead of text tables")
 	quiet := fs.Bool("q", false, "suppress progress")
 	if err := fs.Parse(rest); err != nil {
 		return err
@@ -80,9 +88,17 @@ func run(args []string) error {
 		opts.Progress = os.Stderr
 	}
 
+	// With -json, tables are collected and written as one benchjson report
+	// after the experiment finishes — the same schema `benchjson` produces
+	// for `go test -bench` output, so both artifact paths diff identically.
+	var collected []benchjson.TableJSON
 	emit := func(tables ...*bench.Table) error {
 		for _, t := range tables {
 			if t == nil {
+				continue
+			}
+			if *jsonOut {
+				collected = append(collected, benchjson.FromTable(t.Title, t.Notes, t.Header, t.Rows))
 				continue
 			}
 			var err error
@@ -99,6 +115,18 @@ func run(args []string) error {
 		return nil
 	}
 
+	if err := dispatch(sub, opts, *seconds, emit); err != nil {
+		return err
+	}
+	if *jsonOut {
+		rep := &benchjson.Report{Schema: benchjson.Schema, Tables: collected}
+		return rep.Write(os.Stdout)
+	}
+	return nil
+}
+
+// dispatch runs one experiment subcommand through emit.
+func dispatch(sub string, opts bench.Options, seconds float64, emit func(...*bench.Table) error) error {
 	switch sub {
 	case "fig2":
 		t, err := bench.Fig2()
@@ -132,7 +160,7 @@ func run(args []string) error {
 			return emit(grid.Fig8())
 		}
 	case "fig7t":
-		cov, crashes, err := bench.Fig7TimeBudget(opts, *seconds)
+		cov, crashes, err := bench.Fig7TimeBudget(opts, seconds)
 		if err != nil {
 			return err
 		}
@@ -144,7 +172,7 @@ func run(args []string) error {
 		}
 		return emit(t)
 	case "fig9", "fig10":
-		res, err := bench.RunScaling(opts, *seconds)
+		res, err := bench.RunScaling(opts, seconds)
 		if err != nil {
 			return err
 		}
@@ -195,7 +223,7 @@ func run(args []string) error {
 		}
 		return emit(t)
 	case "all":
-		return runAll(opts, *seconds, emit)
+		return runAll(opts, seconds, emit)
 	default:
 		return fmt.Errorf("unknown subcommand %q", sub)
 	}
@@ -277,6 +305,36 @@ func runAll(opts bench.Options, seconds float64, emit func(...*bench.Table) erro
 		if err := emit(t); err != nil {
 			return err
 		}
+	}
+	return nil
+}
+
+// runBenchJSON implements the benchjson subcommand: parse `go test -bench
+// -benchmem` text on stdin into the machine-readable report (BENCH_2.json).
+func runBenchJSON(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("o", "-", "output path (- for stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := benchjson.ParseGoBench(os.Stdin)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rep.Write(w); err != nil {
+		return err
+	}
+	if *out != "-" {
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d records to %s\n", len(rep.Records), *out)
 	}
 	return nil
 }

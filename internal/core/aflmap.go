@@ -3,7 +3,10 @@ package core
 // AFLMap is the single-level coverage bitmap used by vanilla AFL: one byte of
 // hit-count storage per coverage key. Updates are O(1) but every other map
 // operation (reset, classify, compare, hash) must traverse the entire bitmap,
-// which is what makes large maps expensive (paper §III-A).
+// which is what makes large maps expensive (paper §III-A). The traversals use
+// the shared word-level kernels (kernels.go), as AFL's u64* loops do, so the
+// per-slot constant is as small as the scheme allows — the cost that remains
+// is the full-map iteration itself, which is the paper's point.
 type AFLMap struct {
 	bits []byte
 }
@@ -38,6 +41,19 @@ func (m *AFLMap) Add(key uint32) {
 	}
 }
 
+// AddBatch records a whole buffered trace in one call — the flush half of the
+// batched tracing pipeline. One interface call per execution replaces one
+// virtual Add per edge event; the loop body is the same saturating increment.
+func (m *AFLMap) AddBatch(keys []uint32) {
+	bits := m.bits
+	for _, key := range keys {
+		b := bits[key]
+		if b < 255 {
+			bits[key] = b + 1
+		}
+	}
+}
+
 // Reset wipes the whole bitmap. This is the memset AFL performs before every
 // test case.
 func (m *AFLMap) Reset() {
@@ -45,108 +61,23 @@ func (m *AFLMap) Reset() {
 }
 
 // Classify converts exact hit counts to bucket bits in place, traversing the
-// full map. Like AFL's classify_counts, it skips zero regions a word at a
-// time: the map is sparse, so most iterations are a single 8-byte load and
-// compare.
+// full map. Like AFL++'s classify_counts, it skips zero words and classifies
+// non-zero words with halfword lookups.
 func (m *AFLMap) Classify() {
-	bits := m.bits
-	i := 0
-	for ; i+8 <= len(bits); i += 8 {
-		if loadWord(bits[i:]) == 0 {
-			continue
-		}
-		for j := i; j < i+8; j++ {
-			if b := bits[j]; b != 0 {
-				bits[j] = classifyLookup[b]
-			}
-		}
-	}
-	for ; i < len(bits); i++ {
-		if b := bits[i]; b != 0 {
-			bits[i] = classifyLookup[b]
-		}
-	}
+	classifyRegion(m.bits)
 }
 
 // CompareWith implements AFL's has_new_bits over the full map: any trace byte
 // that still has bits set in the virgin map is new coverage; hitting a fully
 // virgin byte (0xFF) means a brand-new edge rather than just a new bucket.
 func (m *AFLMap) CompareWith(virgin *Virgin) Verdict {
-	verdict := VerdictNone
-	bits, vb := m.bits, virgin.bits
-	i := 0
-	for ; i+8 <= len(bits); i += 8 {
-		if loadWord(bits[i:]) == 0 {
-			continue
-		}
-		verdict = compareBytes(bits[i:i+8], vb[i:i+8], verdict)
-	}
-	if i < len(bits) {
-		verdict = compareBytes(bits[i:], vb[i:], verdict)
-	}
-	return verdict
-}
-
-// compareBytes applies the per-byte has_new_bits step to a small span and
-// folds the result into verdict.
-func compareBytes(trace, virgin []byte, verdict Verdict) Verdict {
-	for j, t := range trace {
-		if t == 0 {
-			continue
-		}
-		v := virgin[j]
-		if t&v == 0 {
-			continue
-		}
-		if v == 0xFF {
-			verdict = VerdictNewEdges
-		} else if verdict < VerdictNewCounts {
-			verdict = VerdictNewCounts
-		}
-		virgin[j] = v &^ t
-	}
-	return verdict
+	return compareRegion(m.bits, virgin.bits)
 }
 
 // ClassifyAndCompare performs the merged classify+compare traversal (§IV-E):
 // one pass over the full map instead of two.
 func (m *AFLMap) ClassifyAndCompare(virgin *Virgin) Verdict {
-	verdict := VerdictNone
-	bits, vb := m.bits, virgin.bits
-	i := 0
-	for ; i+8 <= len(bits); i += 8 {
-		if loadWord(bits[i:]) == 0 {
-			continue
-		}
-		verdict = classifyCompareBytes(bits[i:i+8], vb[i:i+8], verdict)
-	}
-	if i < len(bits) {
-		verdict = classifyCompareBytes(bits[i:], vb[i:], verdict)
-	}
-	return verdict
-}
-
-// classifyCompareBytes classifies a small span in place and folds its
-// has_new_bits result into verdict.
-func classifyCompareBytes(trace, virgin []byte, verdict Verdict) Verdict {
-	for j, b := range trace {
-		if b == 0 {
-			continue
-		}
-		t := classifyLookup[b]
-		trace[j] = t
-		v := virgin[j]
-		if t&v == 0 {
-			continue
-		}
-		if v == 0xFF {
-			verdict = VerdictNewEdges
-		} else if verdict < VerdictNewCounts {
-			verdict = VerdictNewCounts
-		}
-		virgin[j] = v &^ t
-	}
-	return verdict
+	return classifyCompareRegion(m.bits, virgin.bits)
 }
 
 // Hash digests the full bitmap.
@@ -157,47 +88,12 @@ func (m *AFLMap) Hash() uint64 {
 // CountNonZero counts keys with non-zero hit counts (AFL's count_bytes),
 // skipping zero words.
 func (m *AFLMap) CountNonZero() int {
-	bits := m.bits
-	n := 0
-	i := 0
-	for ; i+8 <= len(bits); i += 8 {
-		if loadWord(bits[i:]) == 0 {
-			continue
-		}
-		for j := i; j < i+8; j++ {
-			if bits[j] != 0 {
-				n++
-			}
-		}
-	}
-	for ; i < len(bits); i++ {
-		if bits[i] != 0 {
-			n++
-		}
-	}
-	return n
+	return countNonZeroRegion(m.bits)
 }
 
 // AppendTouched appends the raw keys with non-zero hit counts.
 func (m *AFLMap) AppendTouched(dst []uint32) []uint32 {
-	bits := m.bits
-	i := 0
-	for ; i+8 <= len(bits); i += 8 {
-		if loadWord(bits[i:]) == 0 {
-			continue
-		}
-		for j := i; j < i+8; j++ {
-			if bits[j] != 0 {
-				dst = append(dst, uint32(j))
-			}
-		}
-	}
-	for ; i < len(bits); i++ {
-		if bits[i] != 0 {
-			dst = append(dst, uint32(i))
-		}
-	}
-	return dst
+	return appendTouchedRegion(dst, m.bits)
 }
 
 // NewVirgin allocates a full-size virgin map.

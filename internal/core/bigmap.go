@@ -1,5 +1,11 @@
 package core
 
+// initialSlotCap is the dense-slot capacity preallocated at construction.
+// Table II targets discover thousands of keys, so one up-front allocation
+// covers a whole campaign's discovery bursts; maps smaller than this cap at
+// their own size. Growth beyond the preallocation doubles (see growSlotKey).
+const initialSlotCap = 4096
+
 // BigMap is the paper's adaptive two-level coverage bitmap (§IV). An index
 // bitmap maps each coverage key to a densely packed slot in the coverage
 // bitmap; slots are assigned on first sight from the used_key counter. All
@@ -8,6 +14,14 @@ package core
 // keys the target has produced rather than on the map's size — the map can be
 // made arbitrarily large to suppress hash collisions at negligible cost.
 //
+// Two refinements tighten that bound further. The traversals use the shared
+// word-level kernels (kernels.go), so the per-slot constant matches AFL's
+// u64* loops. And Add maintains a high-water mark: the highest dense slot
+// touched since the last Reset. Slots above it are guaranteed zero, so
+// classify, compare, hash, count and reset all clip at the mark — their cost
+// follows the current trace's footprint, which is never larger than (and
+// after the discovery phase typically equal to) the used region.
+//
 // The only full-map work is the one-time initialization of the index bitmap
 // to "unassigned" when the map is created.
 type BigMap struct {
@@ -15,6 +29,7 @@ type BigMap struct {
 	coverage []byte   // dense hit counters, valid in [0..used)
 	slotKey  []uint32 // dense slot -> key (diagnostic reverse mapping)
 	used     int
+	hw       int // highest slot touched since Reset, -1 when trace is clean
 }
 
 var _ Map = (*BigMap)(nil)
@@ -25,9 +40,15 @@ func NewBigMap(size int) (*BigMap, error) {
 	if !validSize(size) {
 		return nil, ErrBadMapSize
 	}
+	slotCap := initialSlotCap
+	if size < slotCap {
+		slotCap = size
+	}
 	m := &BigMap{
 		index:    make([]int32, size),
 		coverage: make([]byte, size),
+		slotKey:  make([]uint32, 0, slotCap),
+		hw:       -1,
 	}
 	for i := range m.index {
 		m.index[i] = -1
@@ -45,6 +66,13 @@ func (m *BigMap) Scheme() string { return "bigmap" }
 // observed since the map was created.
 func (m *BigMap) UsedKeys() int { return m.used }
 
+// trace returns the region the per-testcase operations must traverse: every
+// slot touched since the last Reset lies below the high-water mark, and all
+// slots above it are zero.
+func (m *BigMap) trace() []byte {
+	return m.coverage[:m.hw+1]
+}
+
 // Add performs the two-level update from the paper's Listing 2: look the key
 // up in the index bitmap, assigning the next free dense slot on first sight,
 // then increment the dense hit counter (saturating at 255).
@@ -53,8 +81,12 @@ func (m *BigMap) Add(key uint32) {
 	if k < 0 {
 		k = int32(m.used)
 		m.index[key] = k
+		m.growSlotKey()
 		m.slotKey = append(m.slotKey, key)
 		m.used++
+	}
+	if int(k) > m.hw {
+		m.hw = int(k)
 	}
 	b := m.coverage[k]
 	if b < 255 {
@@ -62,112 +94,99 @@ func (m *BigMap) Add(key uint32) {
 	}
 }
 
-// Reset wipes only the used region of the coverage bitmap. The index bitmap
-// is deliberately untouched: slot assignments persist for the whole campaign
-// so the same edge always lands in the same slot.
+// AddBatch records a whole buffered trace in one call — the flush half of
+// the batched tracing pipeline. The semantics are exactly len(keys)
+// applications of Listing 2's update: hit counts saturate identically and
+// slots are assigned in first-sight order within the batch, so the dense
+// layout is the same one per-edge Adds would have produced. One interface
+// call per execution replaces one virtual Add per edge event, and the
+// high-water mark is folded through a register instead of memory.
+func (m *BigMap) AddBatch(keys []uint32) {
+	hw := m.hw
+	for _, key := range keys {
+		k := m.index[key]
+		if k < 0 {
+			k = int32(m.used)
+			m.index[key] = k
+			m.growSlotKey()
+			m.slotKey = append(m.slotKey, key)
+			m.used++
+		}
+		if int(k) > hw {
+			hw = int(k)
+		}
+		b := m.coverage[k]
+		if b < 255 {
+			m.coverage[k] = b + 1
+		}
+	}
+	m.hw = hw
+}
+
+// growSlotKey doubles slotKey's capacity when it is full, keeping slot
+// assignment allocation-free during discovery bursts: for n discoveries past
+// the preallocation the map performs O(log n) allocations, and none at all
+// while used_key stays within initialSlotCap (see the regression test).
+func (m *BigMap) growSlotKey() {
+	if len(m.slotKey) < cap(m.slotKey) {
+		return
+	}
+	grown := make([]uint32, len(m.slotKey), 2*cap(m.slotKey))
+	copy(grown, m.slotKey)
+	m.slotKey = grown
+}
+
+// Reset wipes the touched region of the coverage bitmap — everything past
+// the high-water mark is already zero. The index bitmap is deliberately
+// untouched: slot assignments persist for the whole campaign so the same
+// edge always lands in the same slot.
 func (m *BigMap) Reset() {
-	clear(m.coverage[:m.used])
+	clear(m.trace())
+	m.hw = -1
 }
 
-// Classify converts exact hit counts to bucket bits in place over the used
-// region only.
+// Classify converts exact hit counts to bucket bits in place over the
+// touched region only.
 func (m *BigMap) Classify() {
-	cov := m.coverage[:m.used]
-	for i, b := range cov {
-		if b != 0 {
-			cov[i] = classifyLookup[b]
-		}
-	}
+	classifyRegion(m.trace())
 }
 
-// CompareWith implements has_new_bits over the used region. The virgin map
-// shares the dense slot space (slot assignments are stable and monotonic), so
-// comparing [0..used) observes exactly the keys ever seen.
+// CompareWith implements has_new_bits over the touched region. The virgin
+// map shares the dense slot space (slot assignments are stable and
+// monotonic), so comparing the region the current trace touched observes
+// exactly the keys this execution hit; untouched slots are zero and can
+// never contribute a verdict.
 func (m *BigMap) CompareWith(virgin *Virgin) Verdict {
-	verdict := VerdictNone
-	cov := m.coverage[:m.used]
-	vb := virgin.bits
-	for i, t := range cov {
-		if t == 0 {
-			continue
-		}
-		v := vb[i]
-		if t&v == 0 {
-			continue
-		}
-		if v == 0xFF {
-			verdict = VerdictNewEdges
-		} else if verdict < VerdictNewCounts {
-			verdict = VerdictNewCounts
-		}
-		vb[i] = v &^ t
-	}
-	return verdict
+	return compareRegion(m.trace(), virgin.bits)
 }
 
 // ClassifyAndCompare performs the merged classify+compare traversal (§IV-E)
-// over the used region.
+// over the touched region.
 func (m *BigMap) ClassifyAndCompare(virgin *Virgin) Verdict {
-	verdict := VerdictNone
-	cov := m.coverage[:m.used]
-	vb := virgin.bits
-	for i, b := range cov {
-		if b == 0 {
-			continue
-		}
-		t := classifyLookup[b]
-		cov[i] = t
-		v := vb[i]
-		if t&v == 0 {
-			continue
-		}
-		if v == 0xFF {
-			verdict = VerdictNewEdges
-		} else if verdict < VerdictNewCounts {
-			verdict = VerdictNewCounts
-		}
-		vb[i] = v &^ t
-	}
-	return verdict
+	return classifyCompareRegion(m.trace(), virgin.bits)
 }
 
 // Hash digests the coverage bitmap up to the last non-zero slot (§IV-D).
 // Hashing a fixed [0..used) prefix would make the digest of a path depend on
 // how many edges other test cases had discovered by the time it ran; clipping
 // at the last non-zero value keeps the digest a function of the path alone.
+// The high-water mark already bounds the scan — the backward word-level
+// search only walks the (usually empty) zero gap below it.
 func (m *BigMap) Hash() uint64 {
-	cov := m.coverage[:m.used]
-	last := -1
-	for i := len(cov) - 1; i >= 0; i-- {
-		if cov[i] != 0 {
-			last = i
-			break
-		}
-	}
-	return hashBytes(cov[:last+1])
+	last := lastNonZero(m.trace())
+	return hashBytes(m.coverage[:last+1])
 }
 
 // CountNonZero counts dense slots with non-zero hit counts.
 func (m *BigMap) CountNonZero() int {
-	n := 0
-	for _, b := range m.coverage[:m.used] {
-		if b != 0 {
-			n++
-		}
-	}
-	return n
+	return countNonZeroRegion(m.trace())
 }
 
 // AppendTouched appends the dense slot indices with non-zero hit counts.
 // Slot identity is stable across executions because the index mapping never
 // changes once assigned.
 func (m *BigMap) AppendTouched(dst []uint32) []uint32 {
-	for i, b := range m.coverage[:m.used] {
-		if b != 0 {
-			dst = append(dst, uint32(i))
-		}
-	}
-	return dst
+	return appendTouchedRegion(dst, m.trace())
 }
 
 // NewVirgin allocates a virgin map with one slot per possible dense slot.

@@ -26,6 +26,34 @@ func buildClassifyLookup() [256]byte {
 	return t
 }
 
+// classifyLookup16 is the halfword variant of classifyLookup (AFL++'s
+// count_class_lookup16): one table access classifies two adjacent counters,
+// so classifyWord turns a 64-bit load into four lookups instead of eight
+// byte lookups with a branch each. The array type lets the compiler drop
+// bounds checks for &0xFFFF-masked indices. 128kB, built once at init.
+var classifyLookup16 = buildClassifyLookup16()
+
+func buildClassifyLookup16() *[1 << 16]uint16 {
+	var t [1 << 16]uint16
+	for hi := 0; hi < 256; hi++ {
+		for lo := 0; lo < 256; lo++ {
+			t[hi<<8|lo] = uint16(classifyLookup[hi])<<8 | uint16(classifyLookup[lo])
+		}
+	}
+	return &t
+}
+
+// classifyWord classifies eight packed hit counters in one step. The packing
+// is the little-endian order loadWord/storeWord use, and the halfword table
+// is position-independent, so the result is identical to classifying each
+// byte through classifyLookup.
+func classifyWord(w uint64) uint64 {
+	return uint64(classifyLookup16[w&0xFFFF]) |
+		uint64(classifyLookup16[(w>>16)&0xFFFF])<<16 |
+		uint64(classifyLookup16[(w>>32)&0xFFFF])<<32 |
+		uint64(classifyLookup16[w>>48])<<48
+}
+
 // ClassifyByte maps an exact hit count (saturated at 255) to its AFL bucket
 // bit. Exposed for tests and for the documentation example in the paper's
 // §II-A.

@@ -18,6 +18,20 @@ func loadWord(p []byte) uint64 {
 		uint64(p[4])<<32 | uint64(p[5])<<40 | uint64(p[6])<<48 | uint64(p[7])<<56
 }
 
+// storeWord writes w back as 8 little-endian bytes, the inverse of loadWord.
+// p must have at least 8 bytes.
+func storeWord(p []byte, w uint64) {
+	_ = p[7] // bounds-check hint
+	p[0] = byte(w)
+	p[1] = byte(w >> 8)
+	p[2] = byte(w >> 16)
+	p[3] = byte(w >> 24)
+	p[4] = byte(w >> 32)
+	p[5] = byte(w >> 40)
+	p[6] = byte(w >> 48)
+	p[7] = byte(w >> 56)
+}
+
 // hashBytes returns the FNV-1a 64-bit digest of p.
 func hashBytes(p []byte) uint64 {
 	h := uint64(fnvOffset)

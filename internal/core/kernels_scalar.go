@@ -1,0 +1,84 @@
+package core
+
+// Scalar reference kernels: the straightforward byte-at-a-time definitions
+// of classify, has_new_bits, and the merged classify+compare. The word-level
+// kernels in kernels.go fall back to these for unaligned tails and for the
+// rare words that need per-byte work, and the differential fuzzer in
+// kernels_test.go requires the word kernels to be byte-for-byte equivalent
+// to these on arbitrary trace/virgin pairs. They are the semantic ground
+// truth; any future kernel (SIMD, batched, whatever) must match them.
+
+// classifyScalar converts exact hit counts to AFL bucket bits in place,
+// one byte at a time.
+func classifyScalar(p []byte) {
+	for i, b := range p {
+		if b != 0 {
+			p[i] = classifyLookup[b]
+		}
+	}
+}
+
+// compareScalar applies the per-byte has_new_bits step to a classified span
+// and folds the result into verdict, clearing discovered bits out of virgin.
+func compareScalar(trace, virgin []byte, verdict Verdict) Verdict {
+	for j, t := range trace {
+		if t == 0 {
+			continue
+		}
+		v := virgin[j]
+		if t&v == 0 {
+			continue
+		}
+		if v == 0xFF {
+			verdict = VerdictNewEdges
+		} else if verdict < VerdictNewCounts {
+			verdict = VerdictNewCounts
+		}
+		virgin[j] = v &^ t
+	}
+	return verdict
+}
+
+// classifyCompareScalar classifies a span in place and folds its
+// has_new_bits result into verdict, one byte at a time.
+func classifyCompareScalar(trace, virgin []byte, verdict Verdict) Verdict {
+	for j, b := range trace {
+		if b == 0 {
+			continue
+		}
+		t := classifyLookup[b]
+		trace[j] = t
+		v := virgin[j]
+		if t&v == 0 {
+			continue
+		}
+		if v == 0xFF {
+			verdict = VerdictNewEdges
+		} else if verdict < VerdictNewCounts {
+			verdict = VerdictNewCounts
+		}
+		virgin[j] = v &^ t
+	}
+	return verdict
+}
+
+// countNonZeroScalar is the byte-at-a-time CountNonZero reference.
+func countNonZeroScalar(p []byte) int {
+	n := 0
+	for _, b := range p {
+		if b != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// lastNonZeroScalar is the byte-at-a-time backward-scan reference.
+func lastNonZeroScalar(p []byte) int {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] != 0 {
+			return i
+		}
+	}
+	return -1
+}

@@ -58,6 +58,13 @@ type Map interface {
 	// This is the instrumentation-side "bitmap update" operation.
 	Add(key uint32)
 
+	// AddBatch applies Add to every key in order. Semantically it is
+	// exactly a loop of Adds (same saturation, same first-sight slot
+	// assignment order for the two-level scheme); it exists so a batched
+	// tracer can flush a whole buffered trace through one interface call
+	// instead of paying a virtual Add per edge event.
+	AddBatch(keys []uint32)
+
 	// Reset clears all hit counts recorded since the previous Reset. The
 	// flat scheme must wipe the whole bitmap; the two-level scheme only
 	// wipes the used region.
@@ -122,11 +129,24 @@ func newVirgin(n int) *Virgin {
 }
 
 // CountDiscovered returns the number of slots with at least one discovered
-// bucket bit — the fuzzer's "edges covered so far" statistic.
+// bucket bit — the fuzzer's "edges covered so far" statistic. Undiscovered
+// regions are all-0xFF words and are skipped 8 slots at a time.
 func (v *Virgin) CountDiscovered() int {
+	bits := v.bits
 	n := 0
-	for _, b := range v.bits {
-		if b != 0xFF {
+	i := 0
+	for ; i+8 <= len(bits); i += 8 {
+		if loadWord(bits[i:]) == ^uint64(0) {
+			continue
+		}
+		for j := i; j < i+8; j++ {
+			if bits[j] != 0xFF {
+				n++
+			}
+		}
+	}
+	for ; i < len(bits); i++ {
+		if bits[i] != 0xFF {
 			n++
 		}
 	}

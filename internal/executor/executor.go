@@ -34,18 +34,66 @@ type Executor struct {
 	tracer     mapTracer
 }
 
-// mapTracer adapts a Metric + Map pair to the target.Tracer interface. This
-// is the hot path: one metric key derivation and one map update per basic
-// block executed, matching Listing 1 (AFL) or Listing 2 (BigMap).
+// keyBufLen is the capacity of the tracer's coverage-key buffer. It must be
+// at least the interpreter's trace ring size (one VisitBatch never overflows
+// an empty buffer) and is sized so a typical execution flushes into the map
+// once or twice.
+const keyBufLen = 4096
+
+// mapTracer adapts a Metric + Map pair to the target.BatchTracer interface.
+// This is the hot path. The interpreter delivers visited blocks a ring at a
+// time through VisitBatch; keys are derived and buffered, then flushed into
+// the map through one AddBatch call when the buffer fills and once at the
+// end of each execution — so the per-edge virtual Map.Add of the scalar
+// pipeline disappears, while the recorded coverage is exactly Listing 1
+// (AFL) or Listing 2 (BigMap) per edge event.
+//
+// When the metric is the common *core.EdgeMetric, key derivation goes
+// through a concrete (inlinable) method call instead of the Metric
+// interface — the second devirtualization in the loop.
 type mapTracer struct {
 	metric core.Metric
+	edge   *core.EdgeMetric // non-nil fast path when metric is the edge metric
 	cov    core.Map
+	keys   []uint32 // buffered coverage keys, flushed via cov.AddBatch
 }
 
-var _ target.Tracer = (*mapTracer)(nil)
+var _ target.BatchTracer = (*mapTracer)(nil)
 
+// Visit handles the scalar path (kept for Tracer conformance and for any
+// non-batching interpreter).
 func (t *mapTracer) Visit(block uint32) {
 	t.cov.Add(t.metric.Visit(block))
+}
+
+// VisitBatch derives one coverage key per visited block and buffers them.
+// The interpreter's ring never exceeds the buffer capacity, so after a flush
+// the whole batch always fits.
+func (t *mapTracer) VisitBatch(blocks []uint32) {
+	keys := t.keys
+	if len(keys)+len(blocks) > cap(keys) {
+		t.cov.AddBatch(keys)
+		keys = keys[:0]
+	}
+	if t.edge != nil {
+		for _, b := range blocks {
+			keys = append(keys, t.edge.Visit(b))
+		}
+	} else {
+		for _, b := range blocks {
+			keys = append(keys, t.metric.Visit(b))
+		}
+	}
+	t.keys = keys
+}
+
+// flush records any still-buffered keys into the map. Must run before the
+// map is read; Execute calls it after every run.
+func (t *mapTracer) flush() {
+	if len(t.keys) > 0 {
+		t.cov.AddBatch(t.keys)
+		t.keys = t.keys[:0]
+	}
 }
 
 func (t *mapTracer) EnterCall(site uint32) { t.metric.EnterCall(site) }
@@ -60,12 +108,18 @@ func New(prog *target.Program, metric core.Metric, cov core.Map, budget uint64) 
 	if budget == 0 {
 		budget = DefaultBudget
 	}
+	edge, _ := metric.(*core.EdgeMetric)
 	return &Executor{
 		interp: target.NewInterp(prog),
 		metric: metric,
 		cov:    cov,
 		budget: budget,
-		tracer: mapTracer{metric: metric, cov: cov},
+		tracer: mapTracer{
+			metric: metric,
+			edge:   edge,
+			cov:    cov,
+			keys:   make([]uint32, 0, keyBufLen),
+		},
 	}, nil
 }
 
@@ -102,7 +156,9 @@ func (e *Executor) SetCostFactor(factor int) {
 // separately (Figure 3) and choose merged or split classify+compare (§IV-E).
 func (e *Executor) Execute(input []byte) target.Result {
 	e.metric.Begin()
+	e.tracer.keys = e.tracer.keys[:0] // drop any keys a panicking prior run left behind
 	res := e.interp.Run(input, &e.tracer, e.budget)
+	e.tracer.flush()
 	if e.costFactor > 0 {
 		e.simulateWork(res.Cycles * uint64(e.costFactor))
 	}

@@ -96,6 +96,9 @@ func New(prog *target.Program, cfg Config) (*Fuzzer, error) {
 		crashes:     crash.NewDeduper(),
 		cmp:         collector,
 		paths:       paths,
+		// Sized to the map's initial slot capacity so steady-state enqueues
+		// never grow it (AppendTouched returns at most UsedKeys entries).
+		touchedScratch: make([]uint32, 0, 4096),
 	}, nil
 }
 

@@ -17,13 +17,20 @@ type frame struct {
 	site uint32 // call-site block ID (for Result.Stack)
 }
 
+// traceRingLen is the capacity of the interpreter's trace ring: big enough
+// that a typical execution flushes a handful of times, small enough to stay
+// resident in L1 (2kB) while the batch consumer re-walks it.
+const traceRingLen = 512
+
 // Interp executes inputs against one program. It is reusable across
-// executions and owns no per-run state besides scratch buffers; not safe for
+// executions and owns no per-run state besides scratch buffers (the call
+// stack and the trace ring are allocated once and reused); not safe for
 // concurrent use.
 type Interp struct {
 	prog  *Program
 	hook  func(Compare)
 	stack []frame
+	ring  []uint32 // reusable trace ring for BatchTracer consumers
 }
 
 // NewInterp creates an interpreter for prog.
@@ -62,6 +69,12 @@ func at(input []byte, pos int) byte {
 // enumerates (call sites are followed by the callee entry, callee Return
 // blocks by the caller's continuation), so a run produces no statically
 // unknown edges.
+//
+// When tracer implements BatchTracer, block IDs are buffered in the
+// interpreter's trace ring and delivered through VisitBatch — one virtual
+// call per ring's worth of blocks instead of one per block. The ring is
+// flushed around call events and before returning, so batch consumers see
+// the same event order (see BatchTracer).
 func (ip *Interp) Run(input []byte, tracer Tracer, budget uint64) Result {
 	if budget == 0 {
 		budget = DefaultBudget
@@ -75,6 +88,18 @@ func (ip *Interp) Run(input []byte, tracer Tracer, budget uint64) Result {
 	var cycles uint64
 	fn, bi := 0, 0
 
+	bt, batched := tracer.(BatchTracer)
+	if batched && cap(ip.ring) == 0 {
+		ip.ring = make([]uint32, 0, traceRingLen)
+	}
+	ring := ip.ring[:0]
+	flushRing := func() {
+		if len(ring) > 0 {
+			bt.VisitBatch(ring)
+			ring = ring[:0]
+		}
+	}
+
 	charge := func(cost uint64) bool {
 		if cost == 0 {
 			cost = 1
@@ -83,6 +108,10 @@ func (ip *Interp) Run(input []byte, tracer Tracer, budget uint64) Result {
 		return cycles <= budget
 	}
 	finish := func(status Status) Result {
+		if batched {
+			flushRing()
+			ip.ring = ring[:0]
+		}
 		res.Status = status
 		res.Cycles = cycles
 		if len(stack) > 0 {
@@ -108,7 +137,15 @@ func (ip *Interp) Run(input []byte, tracer Tracer, budget uint64) Result {
 			cycles = budget
 			return finish(StatusHang)
 		}
-		tracer.Visit(blk.ID)
+		if batched {
+			if len(ring) == cap(ring) {
+				bt.VisitBatch(ring)
+				ring = ring[:0]
+			}
+			ring = append(ring, blk.ID)
+		} else {
+			tracer.Visit(blk.ID)
+		}
 		res.Blocks++
 
 		nd := &blk.Node
@@ -174,7 +211,15 @@ func (ip *Interp) Run(input []byte, tracer Tracer, budget uint64) Result {
 						cycles = budget
 						return finish(StatusHang)
 					}
-					tracer.Visit(blk.ID)
+					if batched {
+						if len(ring) == cap(ring) {
+							bt.VisitBatch(ring)
+							ring = ring[:0]
+						}
+						ring = append(ring, blk.ID)
+					} else {
+						tracer.Visit(blk.ID)
+					}
 					res.Blocks++
 				}
 			}
@@ -191,6 +236,9 @@ func (ip *Interp) Run(input []byte, tracer Tracer, budget uint64) Result {
 				return finish(StatusHang)
 			}
 			stack = append(stack, frame{fn: fn, cont: nd.B, site: blk.ID})
+			if batched {
+				flushRing() // keep Visit/EnterCall order for batch consumers
+			}
 			tracer.EnterCall(blk.ID)
 			fn, bi = callee, 0
 
@@ -210,6 +258,9 @@ func (ip *Interp) Run(input []byte, tracer Tracer, budget uint64) Result {
 			}
 			top := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
+			if batched {
+				flushRing() // keep Visit/LeaveCall order for batch consumers
+			}
 			tracer.LeaveCall()
 			fn, bi = top.fn, top.cont
 

@@ -1,0 +1,152 @@
+package target
+
+import (
+	"testing"
+
+	"github.com/bigmap/bigmap/internal/rng"
+)
+
+// The batched tracing path must be observationally identical to the scalar
+// one: same blocks in the same order, with EnterCall/LeaveCall events at the
+// same positions, and the same Result. These tests replay generated programs
+// under both tracers and compare full event streams.
+
+// traceEvent is one tracer callback, tagged so ordering across the three
+// callback kinds is comparable.
+type traceEvent struct {
+	kind byte // 'v' visit, 'e' enter, 'l' leave
+	id   uint32
+}
+
+// scalarRecorder records through the plain Tracer interface.
+type scalarRecorder struct {
+	events []traceEvent
+}
+
+func (r *scalarRecorder) Visit(b uint32)     { r.events = append(r.events, traceEvent{'v', b}) }
+func (r *scalarRecorder) EnterCall(s uint32) { r.events = append(r.events, traceEvent{'e', s}) }
+func (r *scalarRecorder) LeaveCall()         { r.events = append(r.events, traceEvent{'l', 0}) }
+
+// batchRecorder records through BatchTracer; its Visit must never fire.
+type batchRecorder struct {
+	events  []traceEvent
+	batches int
+	visits  int
+	t       *testing.T
+}
+
+func (r *batchRecorder) Visit(uint32) {
+	r.t.Error("interpreter used scalar Visit on a BatchTracer")
+}
+
+func (r *batchRecorder) VisitBatch(blocks []uint32) {
+	r.batches++
+	r.visits += len(blocks)
+	for _, b := range blocks {
+		r.events = append(r.events, traceEvent{'v', b})
+	}
+}
+
+func (r *batchRecorder) EnterCall(s uint32) { r.events = append(r.events, traceEvent{'e', s}) }
+func (r *batchRecorder) LeaveCall()         { r.events = append(r.events, traceEvent{'l', 0}) }
+
+func sameEvents(a, b []traceEvent) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestBatchTracerMatchesScalarTracer(t *testing.T) {
+	src := rng.New(0xba7c41)
+	for _, profile := range Profiles() {
+		prog, err := Generate(profile.Spec(0.02))
+		if err != nil {
+			t.Fatalf("%s: %v", profile.Name, err)
+		}
+		interpA := NewInterp(prog)
+		interpB := NewInterp(prog)
+		for trial := 0; trial < 30; trial++ {
+			input := make([]byte, src.Intn(64))
+			for i := range input {
+				input[i] = byte(src.Uint32())
+			}
+			var sr scalarRecorder
+			br := batchRecorder{t: t}
+			resA := interpA.Run(input, &sr, 0)
+			resB := interpB.Run(input, &br, 0)
+			if resA.Status != resB.Status || resA.Cycles != resB.Cycles || resA.Blocks != resB.Blocks {
+				t.Fatalf("%s trial %d: results diverged: %+v vs %+v", profile.Name, trial, resA, resB)
+			}
+			if !sameEvents(sr.events, br.events) {
+				t.Fatalf("%s trial %d: event streams diverged (%d vs %d events)",
+					profile.Name, trial, len(sr.events), len(br.events))
+			}
+			if br.visits != resB.Blocks {
+				t.Fatalf("%s trial %d: batch delivered %d visits, result says %d blocks",
+					profile.Name, trial, br.visits, resB.Blocks)
+			}
+		}
+	}
+}
+
+// TestBatchTracerFlushesAcrossRingBoundary forces more visits than the ring
+// holds (three chained 255-iteration self-loops, ~769 visits against a
+// 512-entry ring), so the mid-run capacity flush is exercised.
+func TestBatchTracerFlushesAcrossRingBoundary(t *testing.T) {
+	prog := &Program{Funcs: []Func{{Blocks: []Block{
+		{ID: 1, Node: Node{Kind: KindSelfLoop, Pos: 0, Val: 256, A: 1}},
+		{ID: 2, Node: Node{Kind: KindSelfLoop, Pos: 0, Val: 256, A: 2}},
+		{ID: 3, Node: Node{Kind: KindSelfLoop, Pos: 0, Val: 256, A: 3}},
+		{ID: 4, Node: Node{Kind: KindReturn}},
+	}}}}
+	var sr scalarRecorder
+	br := batchRecorder{t: t}
+	in := []byte{255}
+	resA := NewInterp(prog).Run(in, &sr, 0)
+	resB := NewInterp(prog).Run(in, &br, 0)
+	if resA.Blocks != resB.Blocks || !sameEvents(sr.events, br.events) {
+		t.Fatalf("self-loop streams diverged: %d vs %d events", len(sr.events), len(br.events))
+	}
+	if resB.Blocks <= traceRingLen {
+		t.Fatalf("test program too short to cross the ring: %d blocks", resB.Blocks)
+	}
+	if br.batches < 2 {
+		t.Fatalf("expected >= 2 batches for %d visits, got %d", br.visits, br.batches)
+	}
+}
+
+// TestBatchTracerZeroAllocSteadyState: after the first run warms the ring
+// and stack, batched runs must not allocate.
+func TestBatchTracerZeroAllocSteadyState(t *testing.T) {
+	profile := Profiles()[0]
+	prog, err := Generate(profile.Spec(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	interp := NewInterp(prog)
+	sink := 0
+	tr := countingBatchTracer{&sink}
+	input := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	interp.Run(input, tr, 0) // warm scratch buffers
+	allocs := testing.AllocsPerRun(20, func() {
+		interp.Run(input, tr, 0)
+	})
+	if allocs != 0 {
+		t.Errorf("batched Run allocates %.1f per exec, want 0", allocs)
+	}
+}
+
+// countingBatchTracer is the cheapest possible BatchTracer: it only counts,
+// so the alloc test measures the interpreter, not the consumer.
+type countingBatchTracer struct{ n *int }
+
+func (c countingBatchTracer) Visit(uint32)           {}
+func (c countingBatchTracer) VisitBatch(bs []uint32) { *c.n += len(bs) }
+func (c countingBatchTracer) EnterCall(uint32)       {}
+func (c countingBatchTracer) LeaveCall()             {}

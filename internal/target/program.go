@@ -264,6 +264,23 @@ type Tracer interface {
 	LeaveCall()
 }
 
+// BatchTracer is an optional Tracer extension. When the tracer passed to
+// Interp.Run implements it, the interpreter buffers visited block IDs in a
+// reusable trace ring and delivers them through VisitBatch in chunks instead
+// of paying one virtual Visit call per executed block — the devirtualization
+// half of the batched coverage pipeline (the other half is the coverage
+// map's AddBatch).
+//
+// Ordering contract: the ring is flushed before every EnterCall and
+// LeaveCall event and before Run returns, so a BatchTracer observes exactly
+// the event sequence a plain Tracer would, with Visit events grouped into
+// batches. The slice passed to VisitBatch is only valid for the duration of
+// the call; implementations must not retain it.
+type BatchTracer interface {
+	Tracer
+	VisitBatch(blocks []uint32)
+}
+
 // NopTracer discards all events.
 type NopTracer struct{}
 
