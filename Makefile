@@ -21,6 +21,11 @@ race:
 fuzz:
 	go test -fuzz=FuzzInterp -fuzztime=30s ./internal/target/
 
+# Checkpoint-codec robustness: decoders must reject arbitrary corruption
+# without panicking, and accepted inputs must round-trip.
+fuzz-checkpoint:
+	go test -fuzz=FuzzCheckpointRoundTrip -fuzztime=30s ./internal/checkpoint/
+
 # Hot-path benchmark sweep (word kernels, batched exec loop, Fig. 3 map ops)
 # with allocation counts, emitted as the machine-readable BENCH_2.json.
 BENCH_PKGS    := ./internal/core/ ./internal/executor/ .

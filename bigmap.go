@@ -20,6 +20,7 @@
 package bigmap
 
 import (
+	"github.com/bigmap/bigmap/internal/checkpoint"
 	"github.com/bigmap/bigmap/internal/collision"
 	"github.com/bigmap/bigmap/internal/core"
 	"github.com/bigmap/bigmap/internal/covreport"
@@ -243,6 +244,37 @@ func WithExecCostFactor(factor int) Option {
 	return func(c *fuzzer.Config) { c.ExecCostFactor = factor }
 }
 
+// WithCalibration re-executes every new queue entry n times to measure
+// target stability: edges that flicker across the runs are recorded as
+// variable and excluded from coverage verdicts, AFL's calibrate_case.
+// n <= 1 disables calibration.
+func WithCalibration(n int) Option {
+	return func(c *fuzzer.Config) { c.CalibrationRuns = n }
+}
+
+// FaultProfile configures the fault-injecting target wrapper: flaky edges,
+// spurious crash/hang verdicts and cycle jitter, all deterministic in the
+// profile seed.
+type FaultProfile = target.FaultProfile
+
+// SpuriousCrashSite is the crash site reported by injected (fake) crashes.
+const SpuriousCrashSite = target.SpuriousCrashSite
+
+// WithFaultProfile wraps the target in the fault injector — the test rig
+// for calibration, verdict quarantine and checkpoint robustness against
+// real-world target misbehaviour.
+func WithFaultProfile(p FaultProfile) Option {
+	return func(c *fuzzer.Config) { prof := p; c.Faults = &prof }
+}
+
+// WithSlotCap bounds the BigMap's dense-slot region. When the cap fills,
+// the map saturates gracefully: new keys are counted as dropped and fuzzing
+// continues on established coverage (Stats reports MapSaturated and
+// DroppedKeys). 0 means the full map.
+func WithSlotCap(n int) Option {
+	return func(c *fuzzer.Config) { c.SlotCap = n }
+}
+
 // NewFuzzer creates a fuzzing instance for prog.
 func NewFuzzer(prog *Program, opts ...Option) (*Fuzzer, error) {
 	var cfg fuzzer.Config
@@ -256,6 +288,58 @@ func NewFuzzer(prog *Program, opts ...Option) (*Fuzzer, error) {
 // seeds.
 func NewCampaign(prog *Program, cfg CampaignConfig, seeds [][]byte) (*Campaign, error) {
 	return parallel.NewCampaign(prog, cfg, seeds)
+}
+
+// Checkpoint types: serialized campaign state, written atomically with a
+// versioned, checksummed framing (see DESIGN.md §9).
+type (
+	// FuzzerCheckpoint is one instance's complete serialized state.
+	FuzzerCheckpoint = checkpoint.FuzzerState
+	// CampaignCheckpoint is a multi-instance campaign's serialized state.
+	CampaignCheckpoint = checkpoint.CampaignState
+)
+
+// SaveFuzzerCheckpoint snapshots f and writes it to path atomically
+// (temp file + rename: a crash mid-write never destroys the previous
+// snapshot). Call between Run calls, never concurrently with fuzzing.
+func SaveFuzzerCheckpoint(path string, f *Fuzzer) error {
+	return checkpoint.Save(path, checkpoint.EncodeFuzzer(f.Snapshot()))
+}
+
+// LoadFuzzerCheckpoint reads and validates a fuzzer checkpoint; corrupt or
+// truncated files are rejected, not guessed at.
+func LoadFuzzerCheckpoint(path string) (*FuzzerCheckpoint, error) {
+	return checkpoint.LoadFuzzer(path)
+}
+
+// ResumeFuzzer reconstructs a fuzzing instance from a checkpoint. prog and
+// opts must be the campaign's originals; the resumed instance continues the
+// interrupted campaign exactly (identical coverage, queue, stats and RNG
+// streams).
+func ResumeFuzzer(prog *Program, st *FuzzerCheckpoint, opts ...Option) (*Fuzzer, error) {
+	var cfg fuzzer.Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return fuzzer.Resume(prog, cfg, st)
+}
+
+// SaveCampaignCheckpoint snapshots a campaign (between Run calls) and
+// writes it to path atomically.
+func SaveCampaignCheckpoint(path string, c *Campaign) error {
+	return checkpoint.Save(path, checkpoint.EncodeCampaign(c.Snapshot()))
+}
+
+// LoadCampaignCheckpoint reads and validates a campaign checkpoint.
+func LoadCampaignCheckpoint(path string) (*CampaignCheckpoint, error) {
+	return checkpoint.LoadCampaign(path)
+}
+
+// ResumeCampaign reconstructs a parallel campaign from a checkpoint; every
+// instance — including ones the supervisor had abandoned — comes back live
+// with a fresh restart budget.
+func ResumeCampaign(prog *Program, cfg CampaignConfig, st *CampaignCheckpoint) (*Campaign, error) {
+	return parallel.Resume(prog, cfg, st)
 }
 
 // Session persists a fuzzing campaign in an AFL-style output directory

@@ -7,13 +7,22 @@
 //	bigmap-fuzz -bench sqlite3 -scheme bigmap -map 2M -execs 200000
 //	bigmap-fuzz -bench gvn -scheme afl -map 64k -seconds 10
 //	bigmap-fuzz -bench instcombine -laf -ngram 3 -map 2M -execs 100000
+//
+// Long campaigns survive interruption: with -checkpoint the campaign state
+// is snapshotted atomically (periodically with -checkpoint-every, and as a
+// last gasp on error or SIGINT/SIGTERM), and -resume continues an
+// interrupted campaign exactly where it stopped — same target flags
+// required, since the checkpoint stores state, not configuration.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"github.com/bigmap/bigmap"
@@ -28,6 +37,11 @@ func main() {
 		os.Exit(1)
 	}
 }
+
+// signalSliceExecs bounds one uninterruptible fuzzing slice so signals and
+// periodic checkpoints are honoured within a bounded delay even when no
+// -checkpoint-every is set.
+const signalSliceExecs = 25000
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("bigmap-fuzz", flag.ContinueOnError)
@@ -48,8 +62,22 @@ func run(args []string) error {
 	autoDict := fs.Bool("autodict", false, "harvest comparison operands from the target as a dictionary")
 	cmpLog := fs.Bool("cmplog", false, "enable RedQueen-style input-to-state mutation")
 	schedule := fs.String("schedule", "", "power schedule: exploit|fast|explore|coe|lin|quad")
+	calibrate := fs.Int("calibrate", 0, "re-execute new queue entries this many times to measure stability")
+	slotCap := fs.Int("slot-cap", 0, "bound the BigMap dense-slot region (0 = full map)")
+	chkPath := fs.String("checkpoint", "", "checkpoint file (atomic snapshots; last-gasp on error/signal)")
+	chkEvery := fs.Uint64("checkpoint-every", 0, "execs between periodic checkpoints (0 = final/last-gasp only)")
+	resume := fs.Bool("resume", false, "resume the campaign from -checkpoint (same target flags required)")
+	faultSeed := fs.Uint64("fault-seed", 1, "fault injector seed")
+	flakyEdges := fs.Int("flaky-edges", 0, "per-mille of blocks whose edges flicker across runs")
+	faultDrop := fs.Int("fault-drop", 0, "per-mille chance an exec drops its flaky edges")
+	spuriousCrash := fs.Int("spurious-crash", 0, "per-mille chance a clean exec is misreported as a crash")
+	spuriousHang := fs.Int("spurious-hang", 0, "per-mille chance a clean exec is misreported as a hang")
+	cycleJitter := fs.Int("cycle-jitter", 0, "percent jitter injected into reported cycle counts")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *resume && *chkPath == "" {
+		return fmt.Errorf("-resume needs -checkpoint")
 	}
 
 	profile, ok := bigmap.ProfileByName(*benchName)
@@ -93,6 +121,24 @@ func run(args []string) error {
 	if *schedule != "" {
 		opts = append(opts, bigmap.WithPowerSchedule(*schedule))
 	}
+	if *calibrate > 0 {
+		opts = append(opts, bigmap.WithCalibration(*calibrate))
+	}
+	if *slotCap > 0 {
+		opts = append(opts, bigmap.WithSlotCap(*slotCap))
+	}
+	if *flakyEdges > 0 || *spuriousCrash > 0 || *spuriousHang > 0 || *cycleJitter > 0 {
+		fp := bigmap.FaultProfile{
+			Seed:              *faultSeed,
+			FlakyEdgeFraction: *flakyEdges,
+			DropRate:          *faultDrop,
+			SpuriousCrashRate: *spuriousCrash,
+			SpuriousHangRate:  *spuriousHang,
+			CycleJitterPct:    *cycleJitter,
+		}
+		opts = append(opts, bigmap.WithFaultProfile(fp))
+		fmt.Printf("  fault injection on (seed %d)\n", *faultSeed)
+	}
 	var dict [][]byte
 	if *dictFile != "" {
 		content, err := os.ReadFile(*dictFile)
@@ -114,32 +160,46 @@ func run(args []string) error {
 	if len(dict) > 0 {
 		opts = append(opts, bigmap.WithDictionary(dict))
 	}
-	f, err := bigmap.NewFuzzer(prog, opts...)
-	if err != nil {
-		return err
-	}
 
-	var corpusIn [][]byte
-	if *inDir != "" {
-		var err error
-		corpusIn, err = output.LoadCorpus(*inDir)
+	var f *bigmap.Fuzzer
+	if *resume {
+		st, err := bigmap.LoadFuzzerCheckpoint(*chkPath)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		f, err = bigmap.ResumeFuzzer(prog, st, opts...)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		fmt.Printf("  resumed from %s: %d execs, %d queue paths\n",
+			*chkPath, f.Execs(), f.Queue().Len())
+	} else {
+		f, err = bigmap.NewFuzzer(prog, opts...)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("  loaded %d corpus inputs from %s\n", len(corpusIn), *inDir)
-	} else {
-		corpusIn = prog.SampleSeeds(rng.New(*seed^0x5eed), *seeds)
-	}
-	accepted := 0
-	for _, s := range corpusIn {
-		if err := f.AddSeed(s); err == nil {
-			accepted++
+		var corpusIn [][]byte
+		if *inDir != "" {
+			var err error
+			corpusIn, err = output.LoadCorpus(*inDir)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  loaded %d corpus inputs from %s\n", len(corpusIn), *inDir)
+		} else {
+			corpusIn = prog.SampleSeeds(rng.New(*seed^0x5eed), *seeds)
 		}
+		accepted := 0
+		for _, s := range corpusIn {
+			if err := f.AddSeed(s); err == nil {
+				accepted++
+			}
+		}
+		if accepted == 0 {
+			return fmt.Errorf("all seeds crashed or hung")
+		}
+		fmt.Printf("  %d/%d seeds accepted\n", accepted, len(corpusIn))
 	}
-	if accepted == 0 {
-		return fmt.Errorf("all seeds crashed or hung")
-	}
-	fmt.Printf("  %d/%d seeds accepted\n", accepted, len(corpusIn))
 
 	var session *output.Session
 	if *outDir != "" {
@@ -151,19 +211,101 @@ func run(args []string) error {
 		defer session.Close()
 	}
 
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+
 	start := time.Now()
-	if *execs > 0 {
-		err = f.RunExecs(*execs)
-	} else if *seconds > 0 {
-		err = f.RunFor(time.Duration(*seconds * float64(time.Second)))
-	} else {
-		return fmt.Errorf("need -execs or -seconds")
-	}
-	if err != nil {
-		return err
-	}
+	runErr := fuzzLoop(f, *execs, *seconds, *chkPath, *chkEvery, stop)
 	elapsed := time.Since(start)
 
+	// Stats and the final checkpoint are flushed on the error path too — a
+	// failed or interrupted campaign is exactly when the snapshot matters.
+	printStats(f, *scheme, size, elapsed)
+	if *chkPath != "" {
+		if err := bigmap.SaveFuzzerCheckpoint(*chkPath, f); err != nil {
+			runErr = errors.Join(runErr, err)
+		} else {
+			fmt.Printf("  checkpoint saved to %s\n", *chkPath)
+		}
+	}
+	if session != nil {
+		if err := session.SaveQueue(f.Queue().Entries()); err != nil {
+			return errors.Join(runErr, err)
+		}
+		if err := session.SaveCrashes(f.Crashes().Records()); err != nil {
+			return errors.Join(runErr, err)
+		}
+		if err := session.WriteStats(f.Stats(), *scheme, size); err != nil {
+			return errors.Join(runErr, err)
+		}
+		if err := session.AppendPlot(f.Stats()); err != nil {
+			return errors.Join(runErr, err)
+		}
+		fmt.Printf("  session saved to %s\n", session.Dir())
+	}
+	return runErr
+}
+
+// fuzzLoop drives the campaign in slices so signals are answered and
+// periodic checkpoints written between slices, never mid-round. The execs
+// budget is the campaign total, so a resumed campaign finishes the original
+// budget rather than starting a fresh one.
+func fuzzLoop(f *bigmap.Fuzzer, execs uint64, seconds float64, chkPath string, chkEvery uint64, stop <-chan os.Signal) error {
+	if execs == 0 && seconds <= 0 {
+		return fmt.Errorf("need -execs or -seconds")
+	}
+	slice := uint64(signalSliceExecs)
+	if chkEvery > 0 && chkEvery < slice {
+		slice = chkEvery
+	}
+	sinceChk := uint64(0)
+	deadline := time.Time{}
+	if execs == 0 {
+		deadline = time.Now().Add(time.Duration(seconds * float64(time.Second)))
+	}
+	for {
+		select {
+		case sig := <-stop:
+			return fmt.Errorf("interrupted by %v", sig)
+		default:
+		}
+		var err error
+		if execs > 0 {
+			if f.Execs() >= execs {
+				return nil
+			}
+			n := execs - f.Execs()
+			if n > slice {
+				n = slice
+			}
+			err = f.RunExecs(n)
+		} else {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				return nil
+			}
+			if remaining > 500*time.Millisecond {
+				remaining = 500 * time.Millisecond
+			}
+			err = f.RunFor(remaining)
+		}
+		if err != nil {
+			return err
+		}
+		if chkPath != "" && chkEvery > 0 {
+			sinceChk += slice
+			if sinceChk >= chkEvery {
+				sinceChk = 0
+				if err := bigmap.SaveFuzzerCheckpoint(chkPath, f); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}
+
+func printStats(f *bigmap.Fuzzer, scheme string, size int, elapsed time.Duration) {
 	st := f.Stats()
 	fmt.Printf("\ncampaign finished in %v\n", elapsed.Round(time.Millisecond))
 	fmt.Printf("  execs           : %d (%.0f/sec)\n", st.Execs,
@@ -171,6 +313,17 @@ func run(args []string) error {
 	fmt.Printf("  queue paths     : %d\n", st.Paths)
 	fmt.Printf("  edges discovered: %d\n", st.EdgesDiscovered)
 	fmt.Printf("  used_key        : %d / %d map slots\n", st.UsedKeys, size)
+	if st.MapSaturated {
+		fmt.Printf("  map SATURATED   : %d keys dropped\n", st.DroppedKeys)
+	}
+	if st.CalibExecs > 0 {
+		fmt.Printf("  stability       : %.2f%% (%d variable edges, %d calibration execs)\n",
+			st.Stability, st.VariableEdges, st.CalibExecs)
+	}
+	if st.SpuriousCrashes > 0 || st.SpuriousHangs > 0 {
+		fmt.Printf("  quarantined     : %d spurious crashes, %d spurious hangs\n",
+			st.SpuriousCrashes, st.SpuriousHangs)
+	}
 	fmt.Printf("  crashes         : %d total, %d unique (crashwalk), %d unique (afl)\n",
 		st.Crashes, st.UniqueCrashes, st.UniqueCrashesAFL)
 	fmt.Printf("  hangs           : %d\n", st.Hangs)
@@ -178,23 +331,6 @@ func run(args []string) error {
 	if err == nil {
 		fmt.Printf("  collision rate  : %.2f%% (Equation 1 at this map size)\n", rate*100)
 	}
-
-	if session != nil {
-		if err := session.SaveQueue(f.Queue().Entries()); err != nil {
-			return err
-		}
-		if err := session.SaveCrashes(f.Crashes().Records()); err != nil {
-			return err
-		}
-		if err := session.WriteStats(st, *scheme, size); err != nil {
-			return err
-		}
-		if err := session.AppendPlot(st); err != nil {
-			return err
-		}
-		fmt.Printf("  session saved to %s\n", session.Dir())
-	}
-	return nil
 }
 
 func maxInt(a, b int) int {

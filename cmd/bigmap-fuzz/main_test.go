@@ -73,6 +73,66 @@ func TestRunWithAutoDict(t *testing.T) {
 	}
 }
 
+func TestRunCheckpointAndResume(t *testing.T) {
+	chk := t.TempDir() + "/campaign.bmcp"
+	// First leg writes a final checkpoint...
+	err := run([]string{
+		"-bench", "zlib", "-scheme", "bigmap", "-map", "64k",
+		"-execs", "1500", "-scale", "0.05", "-seeds", "4",
+		"-checkpoint", chk, "-checkpoint-every", "500",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(chk); err != nil {
+		t.Fatalf("no checkpoint written: %v", err)
+	}
+	// ...and the second leg continues it to a larger total budget.
+	err = run([]string{
+		"-bench", "zlib", "-scheme", "bigmap", "-map", "64k",
+		"-execs", "3000", "-scale", "0.05",
+		"-checkpoint", chk, "-resume",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunResumeValidation(t *testing.T) {
+	if err := run([]string{"-bench", "zlib", "-resume", "-execs", "10"}); err == nil {
+		t.Error("-resume without -checkpoint accepted")
+	}
+	chk := t.TempDir() + "/missing.bmcp"
+	if err := run([]string{
+		"-bench", "zlib", "-scale", "0.05", "-execs", "10",
+		"-checkpoint", chk, "-resume",
+	}); err == nil {
+		t.Error("resume from missing checkpoint accepted")
+	}
+}
+
+func TestRunWithFaultInjection(t *testing.T) {
+	err := run([]string{
+		"-bench", "zlib", "-scheme", "bigmap", "-map", "64k",
+		"-execs", "2000", "-scale", "0.05", "-seeds", "4",
+		"-calibrate", "3", "-flaky-edges", "200", "-fault-drop", "300",
+		"-spurious-crash", "10", "-spurious-hang", "10", "-cycle-jitter", "10",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithSlotCap(t *testing.T) {
+	err := run([]string{
+		"-bench", "zlib", "-scheme", "bigmap", "-map", "64k",
+		"-execs", "1500", "-scale", "0.05", "-seeds", "4", "-slot-cap", "32",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunWithDictionaryFile(t *testing.T) {
 	dir := t.TempDir()
 	path := dir + "/tokens.dict"

@@ -1,0 +1,71 @@
+package checkpoint
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Save atomically writes a framed checkpoint to path: the bytes go to a
+// temp file in the same directory, are synced, and are renamed over the
+// destination. A crash at any point leaves either the old snapshot or the
+// new one — never a torn file. The temp file is cleaned up on failure.
+func Save(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: create temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return fmt.Errorf("checkpoint: write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("checkpoint: sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	return nil
+}
+
+// LoadFuzzer reads and decodes a single-instance checkpoint from path.
+func LoadFuzzer(path string) (*FuzzerState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read: %w", err)
+	}
+	return DecodeFuzzer(data)
+}
+
+// LoadCampaign reads and decodes a multi-instance checkpoint from path.
+func LoadCampaign(path string) (*CampaignState, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: read: %w", err)
+	}
+	return DecodeCampaign(data)
+}
+
+// KindOf sniffs the payload kind of a framed checkpoint without fully
+// decoding it, so a resume path can accept either kind from one flag.
+func KindOf(data []byte) (byte, error) {
+	if len(data) < headerLen+trailerLen {
+		return 0, fmt.Errorf("%w: %d bytes is shorter than the envelope", ErrCorrupt, len(data))
+	}
+	if string(data[:len(magic)]) != magic {
+		return 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	return data[len(magic)+1], nil
+}

@@ -71,13 +71,17 @@ func (m *AFLMap) Classify() {
 // that still has bits set in the virgin map is new coverage; hitting a fully
 // virgin byte (0xFF) means a brand-new edge rather than just a new bucket.
 func (m *AFLMap) CompareWith(virgin *Virgin) Verdict {
-	return compareRegion(m.bits, virgin.bits)
+	verdict, newEdges := compareRegion(m.bits, virgin.bits)
+	virgin.discovered += newEdges
+	return verdict
 }
 
 // ClassifyAndCompare performs the merged classify+compare traversal (§IV-E):
 // one pass over the full map instead of two.
 func (m *AFLMap) ClassifyAndCompare(virgin *Virgin) Verdict {
-	return classifyCompareRegion(m.bits, virgin.bits)
+	verdict, newEdges := classifyCompareRegion(m.bits, virgin.bits)
+	virgin.discovered += newEdges
+	return verdict
 }
 
 // Hash digests the full bitmap.

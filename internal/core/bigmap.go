@@ -1,5 +1,10 @@
 package core
 
+import (
+	"errors"
+	"fmt"
+)
+
 // initialSlotCap is the dense-slot capacity preallocated at construction.
 // Table II targets discover thousands of keys, so one up-front allocation
 // covers a whole campaign's discovery bursts; maps smaller than this cap at
@@ -29,25 +34,45 @@ type BigMap struct {
 	coverage []byte   // dense hit counters, valid in [0..used)
 	slotKey  []uint32 // dense slot -> key (diagnostic reverse mapping)
 	used     int
-	hw       int // highest slot touched since Reset, -1 when trace is clean
+	hw       int    // highest slot touched since Reset, -1 when trace is clean
+	dropped  uint64 // first-sight keys seen after the slot space filled
 }
 
-var _ Map = (*BigMap)(nil)
+var (
+	_ Map       = (*BigMap)(nil)
+	_ Saturable = (*BigMap)(nil)
+)
 
 // NewBigMap creates a two-level coverage map with the given hash-space size,
-// which must be a positive power of two (e.g. MapSize8M).
+// which must be a positive power of two (e.g. MapSize8M). The dense slot
+// region spans the full hash space, so the map can never saturate.
 func NewBigMap(size int) (*BigMap, error) {
+	return NewBigMapSlots(size, size)
+}
+
+// NewBigMapSlots creates a two-level map with a bounded dense slot region:
+// at most slotCap distinct coverage keys can be assigned slots (slotCap == 0
+// or >= size means unbounded). This is the configuration the paper's design
+// actually targets — a huge hash space backed by a small dense bitmap — and
+// it introduces a saturation state: once used_key reaches slotCap, further
+// first-sight keys are counted in DroppedKeys and produce no coverage,
+// rather than silently corrupting existing slots. slotCap need not be a
+// power of two.
+func NewBigMapSlots(size, slotCap int) (*BigMap, error) {
 	if !validSize(size) {
 		return nil, ErrBadMapSize
 	}
-	slotCap := initialSlotCap
-	if size < slotCap {
+	if slotCap <= 0 || slotCap > size {
 		slotCap = size
+	}
+	reserve := initialSlotCap
+	if slotCap < reserve {
+		reserve = slotCap
 	}
 	m := &BigMap{
 		index:    make([]int32, size),
-		coverage: make([]byte, size),
-		slotKey:  make([]uint32, 0, slotCap),
+		coverage: make([]byte, slotCap),
+		slotKey:  make([]uint32, 0, reserve),
 		hw:       -1,
 	}
 	for i := range m.index {
@@ -79,6 +104,12 @@ func (m *BigMap) trace() []byte {
 func (m *BigMap) Add(key uint32) {
 	k := m.index[key]
 	if k < 0 {
+		if m.used == len(m.coverage) {
+			// Slot space saturated: drop the key explicitly rather than
+			// aliasing it onto an existing slot.
+			m.dropped++
+			return
+		}
 		k = int32(m.used)
 		m.index[key] = k
 		m.growSlotKey()
@@ -106,6 +137,10 @@ func (m *BigMap) AddBatch(keys []uint32) {
 	for _, key := range keys {
 		k := m.index[key]
 		if k < 0 {
+			if m.used == len(m.coverage) {
+				m.dropped++
+				continue
+			}
 			k = int32(m.used)
 			m.index[key] = k
 			m.growSlotKey()
@@ -157,13 +192,17 @@ func (m *BigMap) Classify() {
 // exactly the keys this execution hit; untouched slots are zero and can
 // never contribute a verdict.
 func (m *BigMap) CompareWith(virgin *Virgin) Verdict {
-	return compareRegion(m.trace(), virgin.bits)
+	verdict, newEdges := compareRegion(m.trace(), virgin.bits)
+	virgin.discovered += newEdges
+	return verdict
 }
 
 // ClassifyAndCompare performs the merged classify+compare traversal (§IV-E)
 // over the touched region.
 func (m *BigMap) ClassifyAndCompare(virgin *Virgin) Verdict {
-	return classifyCompareRegion(m.trace(), virgin.bits)
+	verdict, newEdges := classifyCompareRegion(m.trace(), virgin.bits)
+	virgin.discovered += newEdges
+	return verdict
 }
 
 // Hash digests the coverage bitmap up to the last non-zero slot (§IV-D).
@@ -215,4 +254,55 @@ func (m *BigMap) Snapshot() []byte {
 	out := make([]byte, m.used)
 	copy(out, m.coverage[:m.used])
 	return out
+}
+
+// SlotCap returns the dense slot capacity: how many distinct coverage keys
+// the map can track before saturating.
+func (m *BigMap) SlotCap() int { return len(m.coverage) }
+
+// Saturated reports whether every dense slot has been assigned. A saturated
+// map keeps working — established slots record coverage normally — but keys
+// never seen before are dropped (and counted) instead of assigned.
+func (m *BigMap) Saturated() bool { return m.used == len(m.coverage) }
+
+// DroppedKeys counts the first-sight keys observed after saturation. Non-zero
+// means coverage feedback is incomplete and the campaign should be re-run
+// with a larger slot region.
+func (m *BigMap) DroppedKeys() uint64 { return m.dropped }
+
+// SlotKeys returns a copy of the dense-slot-to-key assignment table, in slot
+// order. Together with the drop counter this is the map's entire persistent
+// state (hit counters are per-execution), which is what a checkpoint stores.
+func (m *BigMap) SlotKeys() []uint32 {
+	out := make([]uint32, m.used)
+	copy(out, m.slotKey[:m.used])
+	return out
+}
+
+// RestoreAssignments rebuilds the index from a checkpointed SlotKeys table
+// (plus the saturation drop counter), so every previously seen edge lands in
+// the same dense slot it had before the checkpoint — the property that keeps
+// corpus Touched lists, virgin maps and path hashes valid across a resume.
+// The map must be freshly created with identical geometry.
+func (m *BigMap) RestoreAssignments(slotKeys []uint32, dropped uint64) error {
+	if m.used != 0 {
+		return errors.New("core: RestoreAssignments on a used map")
+	}
+	if len(slotKeys) > len(m.coverage) {
+		return fmt.Errorf("core: checkpoint has %d slots, map capacity is %d",
+			len(slotKeys), len(m.coverage))
+	}
+	for slot, key := range slotKeys {
+		if int(key) >= len(m.index) {
+			return fmt.Errorf("core: checkpoint key %d out of range (map size %d)", key, len(m.index))
+		}
+		if m.index[key] >= 0 {
+			return fmt.Errorf("core: checkpoint assigns key %d twice", key)
+		}
+		m.index[key] = int32(slot)
+	}
+	m.slotKey = append(m.slotKey[:0], slotKeys...)
+	m.used = len(slotKeys)
+	m.dropped = dropped
+	return nil
 }

@@ -29,32 +29,32 @@ func classifyRegion(p []byte) {
 }
 
 // compareRegion applies has_new_bits to an already classified trace span:
-// discovered bucket bits are cleared out of virgin and the verdict reports
-// whether any edge or count bucket was new. Two word-level early outs cover
+// discovered bucket bits are cleared out of virgin, the verdict reports
+// whether any edge or count bucket was new, and newEdges counts the slots
+// discovered for the first time (so callers can maintain the discovered
+// count without re-walking the virgin map). Two word-level early outs cover
 // the hot cases: an untouched span (trace word zero) and an already known
 // span (no trace bit still virgin).
-func compareRegion(trace, virgin []byte) Verdict {
-	verdict := VerdictNone
+func compareRegion(trace, virgin []byte) (verdict Verdict, newEdges int) {
 	i := 0
 	for ; i+8 <= len(trace); i += 8 {
 		tw := loadWord(trace[i:])
 		if tw == 0 || tw&loadWord(virgin[i:]) == 0 {
 			continue
 		}
-		verdict = compareScalar(trace[i:i+8], virgin[i:i+8], verdict)
+		verdict, newEdges = compareScalar(trace[i:i+8], virgin[i:i+8], verdict, newEdges)
 	}
 	if i < len(trace) {
-		verdict = compareScalar(trace[i:], virgin[i:], verdict)
+		verdict, newEdges = compareScalar(trace[i:], virgin[i:], verdict, newEdges)
 	}
-	return verdict
+	return verdict, newEdges
 }
 
 // classifyCompareRegion is the merged single-pass classify+compare (§IV-E):
 // each non-zero word is classified and stored, then compared against virgin
 // with the same word-level early out as compareRegion. The per-byte fallback
 // receives the already classified span, so it only performs the compare step.
-func classifyCompareRegion(trace, virgin []byte) Verdict {
-	verdict := VerdictNone
+func classifyCompareRegion(trace, virgin []byte) (verdict Verdict, newEdges int) {
 	i := 0
 	for ; i+8 <= len(trace); i += 8 {
 		w := loadWord(trace[i:])
@@ -66,12 +66,12 @@ func classifyCompareRegion(trace, virgin []byte) Verdict {
 		if cw&loadWord(virgin[i:]) == 0 {
 			continue
 		}
-		verdict = compareScalar(trace[i:i+8], virgin[i:i+8], verdict)
+		verdict, newEdges = compareScalar(trace[i:i+8], virgin[i:i+8], verdict, newEdges)
 	}
 	if i < len(trace) {
-		verdict = classifyCompareScalar(trace[i:], virgin[i:], verdict)
+		verdict, newEdges = classifyCompareScalar(trace[i:], virgin[i:], verdict, newEdges)
 	}
-	return verdict
+	return verdict, newEdges
 }
 
 // countNonZeroRegion counts non-zero hit counters, skipping zero words and

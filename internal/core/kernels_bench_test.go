@@ -64,7 +64,7 @@ func BenchmarkCompareKernel(b *testing.B) {
 		b.Run(fmt.Sprintf("scalar/bigmap/%s", benchSizeLabel(size)), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if compareScalar(region, virgin.bits, VerdictNone) != VerdictNone {
+				if v, _ := compareScalar(region, virgin.bits, VerdictNone, 0); v != VerdictNone {
 					b.Fatal("steady-state compare found new bits")
 				}
 			}
@@ -72,7 +72,7 @@ func BenchmarkCompareKernel(b *testing.B) {
 		b.Run(fmt.Sprintf("word/bigmap/%s", benchSizeLabel(size)), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if compareRegion(region, virgin.bits) != VerdictNone {
+				if v, _ := compareRegion(region, virgin.bits); v != VerdictNone {
 					b.Fatal("steady-state compare found new bits")
 				}
 			}
@@ -86,7 +86,7 @@ func BenchmarkClassifyCompareKernel(b *testing.B) {
 		b.Run(fmt.Sprintf("scalar/bigmap/%s", benchSizeLabel(size)), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				classifyCompareScalar(region, virgin.bits, VerdictNone)
+				classifyCompareScalar(region, virgin.bits, VerdictNone, 0)
 			}
 		})
 		b.Run(fmt.Sprintf("word/bigmap/%s", benchSizeLabel(size)), func(b *testing.B) {

@@ -20,7 +20,10 @@ func classifyScalar(p []byte) {
 
 // compareScalar applies the per-byte has_new_bits step to a classified span
 // and folds the result into verdict, clearing discovered bits out of virgin.
-func compareScalar(trace, virgin []byte, verdict Verdict) Verdict {
+// newEdges accumulates the number of virgin slots discovered for the first
+// time (byte transitions from 0xFF), which is how Virgin maintains its
+// discovered-edge count incrementally instead of re-walking the map.
+func compareScalar(trace, virgin []byte, verdict Verdict, newEdges int) (Verdict, int) {
 	for j, t := range trace {
 		if t == 0 {
 			continue
@@ -31,17 +34,19 @@ func compareScalar(trace, virgin []byte, verdict Verdict) Verdict {
 		}
 		if v == 0xFF {
 			verdict = VerdictNewEdges
+			newEdges++
 		} else if verdict < VerdictNewCounts {
 			verdict = VerdictNewCounts
 		}
 		virgin[j] = v &^ t
 	}
-	return verdict
+	return verdict, newEdges
 }
 
 // classifyCompareScalar classifies a span in place and folds its
-// has_new_bits result into verdict, one byte at a time.
-func classifyCompareScalar(trace, virgin []byte, verdict Verdict) Verdict {
+// has_new_bits result into verdict, one byte at a time. newEdges accumulates
+// first-time slot discoveries, as in compareScalar.
+func classifyCompareScalar(trace, virgin []byte, verdict Verdict, newEdges int) (Verdict, int) {
 	for j, b := range trace {
 		if b == 0 {
 			continue
@@ -54,12 +59,13 @@ func classifyCompareScalar(trace, virgin []byte, verdict Verdict) Verdict {
 		}
 		if v == 0xFF {
 			verdict = VerdictNewEdges
+			newEdges++
 		} else if verdict < VerdictNewCounts {
 			verdict = VerdictNewCounts
 		}
 		virgin[j] = v &^ t
 	}
-	return verdict
+	return verdict, newEdges
 }
 
 // countNonZeroScalar is the byte-at-a-time CountNonZero reference.

@@ -37,10 +37,13 @@ func checkKernelEquivalence(t *testing.T, trace, virgin []byte) {
 	// Compare (on the classified trace, as the split pipeline runs it).
 	gotVirgin := append([]byte(nil), virgin...)
 	wantVirgin := append([]byte(nil), virgin...)
-	gotVerdict := compareRegion(gotTrace, gotVirgin)
-	wantVerdict := compareScalar(wantTrace, wantVirgin, VerdictNone)
+	gotVerdict, gotNew := compareRegion(gotTrace, gotVirgin)
+	wantVerdict, wantNew := compareScalar(wantTrace, wantVirgin, VerdictNone, 0)
 	if gotVerdict != wantVerdict {
 		t.Fatalf("compare verdict diverged: word %v scalar %v (trace %x virgin %x)", gotVerdict, wantVerdict, gotTrace, virgin)
+	}
+	if gotNew != wantNew {
+		t.Fatalf("compare newEdges diverged: word %d scalar %d", gotNew, wantNew)
 	}
 	if !bytes.Equal(gotVirgin, wantVirgin) {
 		t.Fatalf("compare virgin diverged\n word  %x\n scalar %x", gotVirgin, wantVirgin)
@@ -51,10 +54,24 @@ func checkKernelEquivalence(t *testing.T, trace, virgin []byte) {
 	wantTrace = append([]byte(nil), trace...)
 	gotVirgin = append([]byte(nil), virgin...)
 	wantVirgin = append([]byte(nil), virgin...)
-	gotVerdict = classifyCompareRegion(gotTrace, gotVirgin)
-	wantVerdict = classifyCompareScalar(wantTrace, wantVirgin, VerdictNone)
+	gotVerdict, gotNew = classifyCompareRegion(gotTrace, gotVirgin)
+	wantVerdict, wantNew = classifyCompareScalar(wantTrace, wantVirgin, VerdictNone, 0)
 	if gotVerdict != wantVerdict {
 		t.Fatalf("merged verdict diverged: word %v scalar %v", gotVerdict, wantVerdict)
+	}
+	if gotNew != wantNew {
+		t.Fatalf("merged newEdges diverged: word %d scalar %d", gotNew, wantNew)
+	}
+	// The incremental count must agree with the byte definition: newly
+	// discovered slots are exactly the virgin bytes that left 0xFF.
+	wantTransitions := 0
+	for i := range virgin {
+		if virgin[i] == 0xFF && gotVirgin[i] != 0xFF {
+			wantTransitions++
+		}
+	}
+	if gotNew != wantTransitions {
+		t.Fatalf("newEdges %d != %d observed 0xFF transitions", gotNew, wantTransitions)
 	}
 	if !bytes.Equal(gotTrace, wantTrace) || !bytes.Equal(gotVirgin, wantVirgin) {
 		t.Fatalf("merged bitmaps diverged\n trace word %x scalar %x\n virgin word %x scalar %x",

@@ -112,12 +112,25 @@ type Map interface {
 	Scheme() string
 }
 
+// Saturable is the optional interface of maps whose dense slot space can
+// fill up (BigMap with a bounded slot region). Saturation is an explicit,
+// observable state: keys seen after the last slot is assigned are counted and
+// dropped, never silently aliased onto existing slots.
+type Saturable interface {
+	// Saturated reports whether every dense slot has been assigned.
+	Saturated() bool
+	// DroppedKeys counts first-sight keys that could not be assigned a slot.
+	DroppedKeys() uint64
+}
+
 // Virgin is the global coverage state a trace is compared against. AFL keeps
 // three of these per fuzzer: overall coverage, crash coverage and hang
 // coverage. Bytes start at 0xFF (every bucket bit still undiscovered) and
-// discovered bucket bits are cleared by Map.CompareWith.
+// discovered bucket bits are cleared by Map.CompareWith, which also keeps the
+// discovered-slot count current so stats polling never re-walks the map.
 type Virgin struct {
-	bits []byte
+	bits       []byte
+	discovered int
 }
 
 func newVirgin(n int) *Virgin {
@@ -129,9 +142,16 @@ func newVirgin(n int) *Virgin {
 }
 
 // CountDiscovered returns the number of slots with at least one discovered
-// bucket bit — the fuzzer's "edges covered so far" statistic. Undiscovered
-// regions are all-0xFF words and are skipped 8 slots at a time.
-func (v *Virgin) CountDiscovered() int {
+// bucket bit — the fuzzer's "edges covered so far" statistic. The count is
+// maintained incrementally on the has_new_bits path, so this is O(1) and
+// safe to poll every stats or checkpoint tick.
+func (v *Virgin) CountDiscovered() int { return v.discovered }
+
+// recountDiscovered re-derives the discovered count from the raw bits — the
+// walk CountDiscovered used to perform. It runs only when the bits are
+// replaced wholesale (SetBits) and in tests cross-checking the incremental
+// counter. Undiscovered regions are all-0xFF words, skipped 8 at a time.
+func (v *Virgin) recountDiscovered() int {
 	bits := v.bits
 	n := 0
 	i := 0
@@ -155,6 +175,39 @@ func (v *Virgin) CountDiscovered() int {
 
 // Len returns the virgin map's capacity in slots.
 func (v *Virgin) Len() int { return len(v.bits) }
+
+// Suppress marks a slot as fully discovered (all bucket bits cleared), so it
+// can never again contribute to a has_new_bits verdict. The calibration stage
+// uses this to exclude unstable edges from coverage feedback: an edge that
+// appears only on some executions of the same input would otherwise keep
+// producing spurious "new coverage" and flood the queue.
+func (v *Virgin) Suppress(slot uint32) {
+	if int(slot) >= len(v.bits) {
+		return
+	}
+	if v.bits[slot] == 0xFF {
+		v.discovered++
+	}
+	v.bits[slot] = 0
+}
+
+// Bits returns a copy of the raw virgin bytes, for checkpointing.
+func (v *Virgin) Bits() []byte {
+	out := make([]byte, len(v.bits))
+	copy(out, v.bits)
+	return out
+}
+
+// SetBits replaces the virgin state with a checkpointed snapshot. The length
+// must match the map geometry the virgin was created for.
+func (v *Virgin) SetBits(bits []byte) error {
+	if len(bits) != len(v.bits) {
+		return fmt.Errorf("core: virgin snapshot is %d slots, map has %d", len(bits), len(v.bits))
+	}
+	copy(v.bits, bits)
+	v.discovered = v.recountDiscovered()
+	return nil
+}
 
 func validSize(size int) bool {
 	return size > 0 && size&(size-1) == 0

@@ -4,7 +4,11 @@
 // small entries.
 package corpus
 
-import "sort"
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
 
 // Entry is one queue item. Fields mirror AFL's queue_entry.
 type Entry struct {
@@ -136,4 +140,54 @@ func (q *Queue) Entries() []*Entry {
 	out := make([]*Entry, len(q.entries))
 	copy(out, q.entries)
 	return out
+}
+
+// AddRestored appends an entry without top-rated accounting, for checkpoint
+// replay. The top-rated table reflects the exact interleaving of Add and
+// trim calls in the original campaign (trim changes fav factors after Add),
+// so a resume restores it verbatim via RestoreTopRated instead of replaying
+// Add.
+func (q *Queue) AddRestored(e *Entry) {
+	q.entries = append(q.entries, e)
+	q.dirty = true
+}
+
+// TopRated returns the slot-champion table as (slot, entry index) pairs with
+// slots ascending — the queue's entire derived state beyond the entry list,
+// captured for checkpointing.
+func (q *Queue) TopRated() (slots []uint32, entryIdx []int) {
+	index := make(map[*Entry]int, len(q.entries))
+	for i, e := range q.entries {
+		index[e] = i
+	}
+	slots = make([]uint32, 0, len(q.topRated))
+	for slot := range q.topRated {
+		slots = append(slots, slot)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	entryIdx = make([]int, len(slots))
+	for i, slot := range slots {
+		entryIdx[i] = index[q.topRated[slot]]
+	}
+	return slots, entryIdx
+}
+
+// RestoreTopRated installs a checkpointed slot-champion table. Entries are
+// referenced by index into the current entry list; out-of-range indexes are
+// rejected.
+func (q *Queue) RestoreTopRated(slots []uint32, entryIdx []int) error {
+	if len(slots) != len(entryIdx) {
+		return errors.New("corpus: top-rated slots and entries differ in length")
+	}
+	table := make(map[uint32]*Entry, len(slots))
+	for i, slot := range slots {
+		if entryIdx[i] < 0 || entryIdx[i] >= len(q.entries) {
+			return fmt.Errorf("corpus: top-rated entry index %d out of range (%d entries)",
+				entryIdx[i], len(q.entries))
+		}
+		table[slot] = q.entries[entryIdx[i]]
+	}
+	q.topRated = table
+	q.dirty = true
+	return nil
 }

@@ -92,6 +92,17 @@ func (d *Deduper) Records() []*Record {
 	return out
 }
 
+// Restore reloads buckets from a checkpoint into an empty-or-not deduper.
+// Existing buckets with the same key are replaced; records and their inputs
+// are copied, so the caller may reuse the slice.
+func (d *Deduper) Restore(recs []Record) {
+	for i := range recs {
+		cp := recs[i]
+		cp.Input = append([]byte(nil), recs[i].Input...)
+		d.seen[cp.Key] = &cp
+	}
+}
+
 // Merge folds another deduper's buckets into this one (used when
 // aggregating parallel instances). Returns the number of buckets that were
 // new to the receiver.

@@ -25,7 +25,7 @@ var ErrNilDependency = errors.New("executor: program, metric and map are require
 // Executor executes inputs against one program with one metric and one
 // coverage map. Not safe for concurrent use; each fuzzing instance owns one.
 type Executor struct {
-	interp     *target.Interp
+	runner     target.Runner
 	metric     core.Metric
 	cov        core.Map
 	budget     uint64
@@ -99,10 +99,20 @@ func (t *mapTracer) flush() {
 func (t *mapTracer) EnterCall(site uint32) { t.metric.EnterCall(site) }
 func (t *mapTracer) LeaveCall()            { t.metric.LeaveCall() }
 
-// New creates an executor. budget is the per-execution cycle budget; pass 0
-// for DefaultBudget.
+// New creates an executor running the clean interpreter. budget is the
+// per-execution cycle budget; pass 0 for DefaultBudget.
 func New(prog *target.Program, metric core.Metric, cov core.Map, budget uint64) (*Executor, error) {
-	if prog == nil || metric == nil || cov == nil {
+	if prog == nil {
+		return nil, ErrNilDependency
+	}
+	return NewWithRunner(target.NewInterp(prog), metric, cov, budget)
+}
+
+// NewWithRunner creates an executor driving an arbitrary target runner — the
+// clean interpreter, a fault-injected wrapper, or anything else satisfying
+// the Runner contract.
+func NewWithRunner(runner target.Runner, metric core.Metric, cov core.Map, budget uint64) (*Executor, error) {
+	if runner == nil || metric == nil || cov == nil {
 		return nil, ErrNilDependency
 	}
 	if budget == 0 {
@@ -110,7 +120,7 @@ func New(prog *target.Program, metric core.Metric, cov core.Map, budget uint64) 
 	}
 	edge, _ := metric.(*core.EdgeMetric)
 	return &Executor{
-		interp: target.NewInterp(prog),
+		runner: runner,
 		metric: metric,
 		cov:    cov,
 		budget: budget,
@@ -130,7 +140,10 @@ func (e *Executor) Map() core.Map { return e.cov }
 func (e *Executor) Metric() core.Metric { return e.metric }
 
 // Program returns the target program.
-func (e *Executor) Program() *target.Program { return e.interp.Program() }
+func (e *Executor) Program() *target.Program { return e.runner.Program() }
+
+// Runner returns the target runner (for fault-state checkpointing).
+func (e *Executor) Runner() target.Runner { return e.runner }
 
 // Budget returns the per-execution cycle budget.
 func (e *Executor) Budget() uint64 { return e.budget }
@@ -157,7 +170,7 @@ func (e *Executor) SetCostFactor(factor int) {
 func (e *Executor) Execute(input []byte) target.Result {
 	e.metric.Begin()
 	e.tracer.keys = e.tracer.keys[:0] // drop any keys a panicking prior run left behind
-	res := e.interp.Run(input, &e.tracer, e.budget)
+	res := e.runner.Run(input, &e.tracer, e.budget)
 	e.tracer.flush()
 	if e.costFactor > 0 {
 		e.simulateWork(res.Cycles * uint64(e.costFactor))

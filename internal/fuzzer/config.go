@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"github.com/bigmap/bigmap/internal/core"
+	"github.com/bigmap/bigmap/internal/target"
 )
 
 // Defaults mirroring AFL's config.h, scaled to the synthetic substrate.
@@ -38,11 +39,18 @@ const (
 
 // NewMap constructs a coverage map of the scheme.
 func (s Scheme) NewMap(size int) (core.Map, error) {
+	return s.NewMapSlots(size, 0)
+}
+
+// NewMapSlots constructs a coverage map with a bounded dense-slot region
+// (BigMap only; slotCap <= 0 means unbounded, and the AFL scheme ignores it
+// — a flat bitmap has no slot assignment to saturate).
+func (s Scheme) NewMapSlots(size, slotCap int) (core.Map, error) {
 	switch s {
 	case SchemeAFL:
 		return core.NewAFLMap(size)
 	case SchemeBigMap:
-		return core.NewBigMap(size)
+		return core.NewBigMapSlots(size, slotCap)
 	default:
 		return nil, errors.New("fuzzer: unknown map scheme " + string(s))
 	}
@@ -99,6 +107,23 @@ type Config struct {
 	SpliceRounds int
 	// Dict is an optional token dictionary for the mutation engine.
 	Dict [][]byte
+	// CalibrationRuns enables AFL-style calibration and verification: new
+	// queue entries are re-executed this many times in total to average
+	// their cost and detect unstable ("variable") coverage slots, and
+	// crash/hang verdicts are verified by one re-run before being believed
+	// (one-off spurious verdicts are quarantined, not filed). 0 disables
+	// both — correct for the deterministic clean interpreter, where a
+	// single run is already exact.
+	CalibrationRuns int
+	// Faults, when non-nil, wraps the target in the fault-injecting runner
+	// (see target.FaultProfile): flaky edges, spurious crash/hang verdicts
+	// and cycle jitter, all deterministic in the profile seed.
+	Faults *target.FaultProfile
+	// SlotCap bounds BigMap's dense slot region (0 = unbounded). When the
+	// target produces more distinct coverage keys than SlotCap, the map
+	// saturates: excess keys are dropped and counted (Stats.DroppedKeys,
+	// Stats.MapSaturated) instead of corrupting existing coverage.
+	SlotCap int
 }
 
 // applyDefaults fills zero fields in place and validates.

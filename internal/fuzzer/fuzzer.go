@@ -50,6 +50,12 @@ type Fuzzer struct {
 	sumCycles      uint64 // across queue entries, for perf scoring
 	sumEdges       uint64
 	rejectedSeeds  int
+
+	// Calibration & fault-robustness state (Config.CalibrationRuns > 0).
+	varSlots        map[uint32]bool // coverage slots calibration found unstable
+	calibExecs      uint64          // executions spent on calibration and verification
+	spuriousCrashes uint64          // one-off crash verdicts quarantined
+	spuriousHangs   uint64          // one-off hang verdicts quarantined
 }
 
 // New creates a fuzzing instance for prog.
@@ -57,7 +63,7 @@ func New(prog *target.Program, cfg Config) (*Fuzzer, error) {
 	if err := cfg.applyDefaults(); err != nil {
 		return nil, err
 	}
-	cov, err := cfg.Scheme.NewMap(cfg.MapSize)
+	cov, err := cfg.Scheme.NewMapSlots(cfg.MapSize, cfg.SlotCap)
 	if err != nil {
 		return nil, fmt.Errorf("map scheme %q: %w", cfg.Scheme, err)
 	}
@@ -65,7 +71,14 @@ func New(prog *target.Program, cfg Config) (*Fuzzer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("metric: %w", err)
 	}
-	exe, err := executor.New(prog, metric, cov, cfg.ExecBudget)
+	if prog == nil {
+		return nil, executor.ErrNilDependency
+	}
+	var runner target.Runner = target.NewInterp(prog)
+	if cfg.Faults != nil {
+		runner = target.NewFaulty(prog, *cfg.Faults)
+	}
+	exe, err := executor.NewWithRunner(runner, metric, cov, cfg.ExecBudget)
 	if err != nil {
 		return nil, err
 	}
@@ -99,6 +112,7 @@ func New(prog *target.Program, cfg Config) (*Fuzzer, error) {
 		// Sized to the map's initial slot capacity so steady-state enqueues
 		// never grow it (AppendTouched returns at most UsedKeys entries).
 		touchedScratch: make([]uint32, 0, 4096),
+		varSlots:       make(map[uint32]bool),
 	}, nil
 }
 
@@ -319,7 +333,12 @@ func (f *Fuzzer) evaluate(candidate []byte, foundBy string, depth int) {
 // runOne is the per-testcase pipeline of §II-A2: reset the map, execute,
 // classify + compare against the appropriate virgin map, and (for
 // interesting, non-crashing cases) hash. Every phase is optionally timed.
+// With calibration enabled the pipeline adds crash/hang verification (see
+// runVerified); otherwise it is the merged fast path below.
 func (f *Fuzzer) runOne(input []byte) (target.Result, core.Verdict) {
+	if f.cfg.CalibrationRuns > 0 {
+		return f.runVerified(input)
+	}
 	timed := f.cfg.TrackTimings
 
 	var t0 time.Time
@@ -377,6 +396,115 @@ func (f *Fuzzer) runOne(input []byte) (target.Result, core.Verdict) {
 	return res, verdict
 }
 
+// execClassify resets the map, executes input and classifies the trace,
+// leaving the classified coverage in the map but deferring the virgin
+// compare to the caller. This is the building block of the verification and
+// calibration paths, which must be able to re-run an input before deciding
+// which virgin map (if any) the result may touch.
+func (f *Fuzzer) execClassify(input []byte) target.Result {
+	timed := f.cfg.TrackTimings
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
+	f.cov.Reset()
+	if timed {
+		f.timings.Reset += time.Since(t0)
+		t0 = time.Now()
+	}
+	res := f.exec.Execute(input)
+	f.execs++
+	if timed {
+		f.timings.Execution += time.Since(t0)
+		t0 = time.Now()
+	}
+	f.cov.Classify()
+	if timed {
+		f.timings.Classify += time.Since(t0)
+	}
+	return res
+}
+
+// runVerified is the calibrating variant of runOne. Crash and hang verdicts
+// are not believed on first sight: the input is re-executed once, and a
+// verdict that does not reproduce is quarantined — counted as spurious, with
+// the reproducing (clean) run's result taking its place — BEFORE any virgin
+// map is consulted, so a one-off fault can neither enqueue a bogus crash nor
+// burn novelty in the crash/hang virgin maps. Variable slots that
+// calibration suppressed from virginAll can never produce a verdict here.
+func (f *Fuzzer) runVerified(input []byte) (target.Result, core.Verdict) {
+	res := f.execClassify(input)
+	if res.Status != target.StatusOK {
+		first := res.Status
+		res = f.execClassify(input) // verification re-run
+		f.calibExecs++
+		if res.Status != first {
+			if first == target.StatusCrash {
+				f.spuriousCrashes++
+			} else {
+				f.spuriousHangs++
+			}
+		}
+	}
+
+	virgin := f.virginAll
+	switch res.Status {
+	case target.StatusCrash:
+		virgin = f.virginCrash
+	case target.StatusHang:
+		virgin = f.virginHang
+	}
+	timed := f.cfg.TrackTimings
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
+	verdict := f.cov.CompareWith(virgin)
+	if timed {
+		f.timings.Compare += time.Since(t0)
+	}
+	if f.paths != nil {
+		f.paths.observe(f.cov.Hash())
+	}
+	return res, verdict
+}
+
+// calibrate re-executes a freshly enqueued input CalibrationRuns-1 more
+// times, AFL's calibrate_case: coverage slots that do not appear in every
+// clean run are "variable" — flaky instrumentation, not new behaviour — and
+// are suppressed from virginAll so they can never produce a verdict again
+// (AFL's var_bytes mask). Returns the entry's cycle cost averaged over the
+// clean runs. Runs that crash or hang mid-calibration contribute nothing.
+// The coverage map is clobbered; callers capture hash/touched beforehand.
+func (f *Fuzzer) calibrate(input []byte, firstTouched []uint32, firstCycles uint64) uint64 {
+	counts := make(map[uint32]int, len(firstTouched))
+	for _, s := range firstTouched {
+		counts[s] = 1
+	}
+	okRuns := 1
+	sum := firstCycles
+	for i := 1; i < f.cfg.CalibrationRuns; i++ {
+		res := f.execClassify(input)
+		f.calibExecs++
+		if res.Status != target.StatusOK {
+			continue
+		}
+		okRuns++
+		sum += res.Cycles
+		f.touchedScratch = f.cov.AppendTouched(f.touchedScratch[:0])
+		for _, s := range f.touchedScratch {
+			counts[s]++
+		}
+	}
+	for s, n := range counts {
+		if n != okRuns && !f.varSlots[s] {
+			f.varSlots[s] = true
+			f.virginAll.Suppress(s)
+		}
+	}
+	return sum / uint64(okRuns)
+}
+
 // runForHash executes an input and returns its classified-trace digest
 // without consulting or updating any virgin map — the read-only run the trim
 // stage needs for path comparison.
@@ -406,9 +534,14 @@ func (f *Fuzzer) enqueue(input []byte, res target.Result, foundBy string, depth 
 	touched := make([]uint32, len(f.touchedScratch))
 	copy(touched, f.touchedScratch)
 
+	cycles := res.Cycles
+	if f.cfg.CalibrationRuns > 1 && res.Status == target.StatusOK {
+		cycles = f.calibrate(input, touched, cycles)
+	}
+
 	e := &corpus.Entry{
 		Input:     input,
-		Cycles:    res.Cycles,
+		Cycles:    cycles,
 		EdgeCount: len(touched),
 		Touched:   touched,
 		PathHash:  pathHash,
@@ -416,7 +549,7 @@ func (f *Fuzzer) enqueue(input []byte, res target.Result, foundBy string, depth 
 		FoundBy:   foundBy,
 	}
 	f.queue.Add(e)
-	f.sumCycles += res.Cycles
+	f.sumCycles += cycles
 	f.sumEdges += uint64(len(touched))
 }
 
@@ -433,22 +566,46 @@ func (f *Fuzzer) ImportInput(input []byte) bool {
 	return true
 }
 
-// Stats snapshots the instance's progress. EdgesDiscovered walks the virgin
-// map, so avoid calling it in a hot loop.
+// Stats snapshots the instance's progress. Every field is maintained
+// incrementally (EdgesDiscovered is the virgin map's running counter, fed on
+// the has_new_bits path), so polling is O(queue length) for the favored
+// count and O(1) for everything else.
 func (f *Fuzzer) Stats() Stats {
-	return Stats{
+	discovered := f.virginAll.CountDiscovered()
+	stability := 100.0
+	if len(f.varSlots) > 0 {
+		d := discovered
+		if d < 1 {
+			d = 1
+		}
+		stability = 100 * (1 - float64(len(f.varSlots))/float64(d))
+		if stability < 0 {
+			stability = 0
+		}
+	}
+	st := Stats{
 		Execs:            f.execs,
 		CyclesDone:       f.cyclesDone,
 		Paths:            f.queue.Len(),
 		PendingFavored:   f.queue.PendingFavored(),
-		EdgesDiscovered:  f.virginAll.CountDiscovered(),
+		EdgesDiscovered:  discovered,
 		Crashes:          f.totalCrashes,
 		UniqueCrashes:    f.crashes.Unique(),
 		UniqueCrashesAFL: f.aflUniqueCrash,
 		Hangs:            f.totalHangs,
 		UsedKeys:         f.cov.UsedKeys(),
+		CalibExecs:       f.calibExecs,
+		VariableEdges:    len(f.varSlots),
+		Stability:        stability,
+		SpuriousCrashes:  f.spuriousCrashes,
+		SpuriousHangs:    f.spuriousHangs,
 		Timings:          f.timings,
 	}
+	if sat, ok := f.cov.(core.Saturable); ok {
+		st.MapSaturated = sat.Saturated()
+		st.DroppedKeys = sat.DroppedKeys()
+	}
+	return st
 }
 
 // Execs returns the number of executed test cases (cheap, for hot loops).

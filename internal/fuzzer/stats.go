@@ -60,6 +60,27 @@ type Stats struct {
 	Hangs uint64
 	// UsedKeys is the map's used_key (BigMap) or map size (AFL scheme).
 	UsedKeys int
+	// CalibExecs counts executions spent on calibration re-runs and
+	// crash/hang verification (included in Execs).
+	CalibExecs uint64
+	// VariableEdges counts coverage slots calibration found unstable and
+	// masked out of novelty detection (AFL's var_bytes).
+	VariableEdges int
+	// Stability is the percentage of discovered edges that behaved
+	// deterministically: 100 * (1 - VariableEdges/EdgesDiscovered). 100 on
+	// a clean deterministic target; below 100 under flaky instrumentation.
+	Stability float64
+	// SpuriousCrashes and SpuriousHangs count one-off verdicts that failed
+	// verification and were quarantined rather than filed.
+	SpuriousCrashes uint64
+	SpuriousHangs   uint64
+	// MapSaturated reports that a slot-capped BigMap has assigned every
+	// dense slot; DroppedKeys counts first-sight coverage keys discarded
+	// after that point. Non-zero drops mean coverage feedback is incomplete
+	// — the campaign degrades gracefully but should be re-run with a larger
+	// slot region.
+	MapSaturated bool
+	DroppedKeys  uint64
 	// Timings holds per-phase time when Config.TrackTimings is set.
 	Timings Timings
 }

@@ -60,6 +60,31 @@ func (m *Mutator) OperatorStats() (used, success []uint64) {
 	return u, s
 }
 
+// PendingOps returns the operators used since the last RewardLast call —
+// credit attribution still in flight. The splice stage's Havoc calls are
+// never rewarded, so this is routinely non-empty at step boundaries and must
+// be checkpointed for an exact resume.
+func (m *Mutator) PendingOps() []int {
+	if m.adaptive == nil {
+		return nil
+	}
+	return append([]int(nil), m.adaptive.lastOps...)
+}
+
+// RestoreOperatorStats reloads per-operator counters and the pending credit
+// list from a checkpoint, enabling adaptive mode if it was off. Slices
+// shorter than the operator count leave the tail at zero; longer slices are
+// truncated (forward compatibility with checkpoints written by builds with
+// more operators).
+func (m *Mutator) RestoreOperatorStats(used, success []uint64, pending []int) {
+	m.EnableAdaptive()
+	m.adaptive.used = [numHavocOps]uint64{}
+	m.adaptive.success = [numHavocOps]uint64{}
+	copy(m.adaptive.used[:], used)
+	copy(m.adaptive.success[:], success)
+	m.adaptive.lastOps = append(m.adaptive.lastOps[:0], pending...)
+}
+
 // pickOp selects the next havoc operator: uniformly when adaptive mode is
 // off, success-rate weighted (with a 25% uniform floor) when on.
 func (m *Mutator) pickOp() int {

@@ -43,6 +43,10 @@ func New(src *rng.Source, dict [][]byte) *Mutator {
 	return &Mutator{src: src, dict: dict}
 }
 
+// Source exposes the mutator's RNG so checkpointing can capture and restore
+// its exact stream position.
+func (m *Mutator) Source() *rng.Source { return m.src }
+
 // Deterministic enumerates AFL's deterministic mutations of base, invoking
 // fn for each candidate. The candidate buffer is reused between calls; fn
 // must copy it if it needs to keep it. Enumeration stops early if fn returns

@@ -9,6 +9,11 @@
 // and memory-bandwidth pressure included — the effect Figure 9 plots).
 // Synchronization happens at round boundaries with no instance running,
 // which keeps every Fuzzer single-threaded, like AFL's on-disk sync.
+//
+// The campaign is supervised: an instance that panics or errors mid-round is
+// revived from its last sync-boundary checkpoint with exponential backoff,
+// and only abandoned (not the whole campaign) once its restart budget is
+// exhausted. The campaign itself fails only when every instance has.
 package parallel
 
 import (
@@ -17,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/bigmap/bigmap/internal/checkpoint"
 	"github.com/bigmap/bigmap/internal/crash"
 	"github.com/bigmap/bigmap/internal/fuzzer"
 	"github.com/bigmap/bigmap/internal/target"
@@ -40,13 +46,80 @@ type Config struct {
 	Fuzzer fuzzer.Config
 	// MasterDeterministic enables the deterministic stages on instance 0.
 	MasterDeterministic bool
+	// MaxRestarts bounds how many times a crashed instance is revived from
+	// its last sync-round checkpoint before it is marked failed and the
+	// campaign continues without it. 0 means 3.
+	MaxRestarts int
+	// RestartBackoff is the pause before an instance's first revival; it
+	// doubles on every subsequent revival of the same instance. 0 means
+	// 10ms.
+	RestartBackoff time.Duration
 }
 
 // Campaign is a running multi-instance fuzzing session.
 type Campaign struct {
+	prog     *target.Program
 	fuzzers  []*fuzzer.Fuzzer
 	cfg      Config
 	seenUpTo [][]int // seenUpTo[i][j]: how many of j's queue entries i has imported
+
+	// Supervisor state: the last sync-boundary checkpoint per instance
+	// (with the matching seenUpTo row), restart counters, and the terminal
+	// error of each abandoned instance (nil while alive).
+	snaps    []*checkpoint.FuzzerState
+	seenSnap [][]int
+	restarts []int
+	failed   []error
+
+	// sleep is time.Sleep, replaceable in tests so backoff is observable
+	// without slowing the suite. testFaultHook, when set, runs at the top
+	// of every instance round — tests inject panics through it.
+	sleep         func(time.Duration)
+	testFaultHook func(instance int, f *fuzzer.Fuzzer)
+}
+
+func withDefaults(cfg Config) Config {
+	if cfg.SyncEvery == 0 {
+		cfg.SyncEvery = 20000
+	}
+	if cfg.MaxRestarts == 0 {
+		cfg.MaxRestarts = 3
+	}
+	if cfg.RestartBackoff == 0 {
+		cfg.RestartBackoff = 10 * time.Millisecond
+	}
+	return cfg
+}
+
+// instanceCfg derives instance i's fuzzer config from the template: a
+// per-instance seed perturbation, and deterministic stages on the master
+// only. Revival and resume rebuild configs through this same function, so a
+// restarted instance is bitwise the campaign's original.
+func (c *Campaign) instanceCfg(i int) fuzzer.Config {
+	fcfg := c.cfg.Fuzzer
+	fcfg.Seed = fcfg.Seed*31 + uint64(i) + 1
+	fcfg.RunDeterministic = c.cfg.MasterDeterministic && i == 0
+	return fcfg
+}
+
+func newShell(prog *target.Program, cfg Config) *Campaign {
+	n := cfg.Instances
+	c := &Campaign{
+		prog:     prog,
+		fuzzers:  make([]*fuzzer.Fuzzer, n),
+		cfg:      cfg,
+		seenUpTo: make([][]int, n),
+		snaps:    make([]*checkpoint.FuzzerState, n),
+		seenSnap: make([][]int, n),
+		restarts: make([]int, n),
+		failed:   make([]error, n),
+		sleep:    time.Sleep,
+	}
+	for i := 0; i < n; i++ {
+		c.seenUpTo[i] = make([]int, n)
+		c.seenSnap[i] = make([]int, n)
+	}
+	return c
 }
 
 // NewCampaign builds the instances and dry-runs the shared seed corpus on
@@ -55,15 +128,9 @@ func NewCampaign(prog *target.Program, cfg Config, seeds [][]byte) (*Campaign, e
 	if cfg.Instances < 1 {
 		return nil, ErrNoInstances
 	}
-	if cfg.SyncEvery == 0 {
-		cfg.SyncEvery = 20000
-	}
-	fuzzers := make([]*fuzzer.Fuzzer, cfg.Instances)
-	for i := range fuzzers {
-		fcfg := cfg.Fuzzer
-		fcfg.Seed = fcfg.Seed*31 + uint64(i) + 1
-		fcfg.RunDeterministic = cfg.MasterDeterministic && i == 0
-		f, err := fuzzer.New(prog, fcfg)
+	c := newShell(prog, withDefaults(cfg))
+	for i := range c.fuzzers {
+		f, err := fuzzer.New(prog, c.instanceCfg(i))
 		if err != nil {
 			return nil, fmt.Errorf("instance %d: %w", i, err)
 		}
@@ -76,25 +143,24 @@ func NewCampaign(prog *target.Program, cfg Config, seeds [][]byte) (*Campaign, e
 		if accepted == 0 {
 			return nil, fmt.Errorf("instance %d: %w", i, fuzzer.ErrNoSeeds)
 		}
-		fuzzers[i] = f
+		c.fuzzers[i] = f
 	}
-	seen := make([][]int, cfg.Instances)
-	for i := range seen {
-		seen[i] = make([]int, cfg.Instances)
-		for j := range seen[i] {
+	for i := range c.seenUpTo {
+		for j := range c.seenUpTo[i] {
 			// Seed entries are already present everywhere.
-			seen[i][j] = fuzzers[j].Queue().Len()
+			c.seenUpTo[i][j] = c.fuzzers[j].Queue().Len()
 		}
 	}
-	return &Campaign{fuzzers: fuzzers, cfg: cfg, seenUpTo: seen}, nil
+	c.markBoundary()
+	return c, nil
 }
 
 // Instances returns the per-instance fuzzers (for inspection).
 func (c *Campaign) Instances() []*fuzzer.Fuzzer { return c.fuzzers }
 
-// RunExecs fuzzes until every instance has executed at least perInstance
-// test cases, in concurrent rounds of SyncEvery execs with corpus exchange
-// in between.
+// RunExecs fuzzes until every live instance has executed at least
+// perInstance test cases, in concurrent rounds of SyncEvery execs with
+// corpus exchange in between.
 func (c *Campaign) RunExecs(perInstance uint64) error {
 	for !c.allReached(perInstance) {
 		if err := c.round(func(f *fuzzer.Fuzzer) error {
@@ -110,6 +176,26 @@ func (c *Campaign) RunExecs(perInstance uint64) error {
 			return err
 		}
 		c.sync()
+		c.markBoundary()
+	}
+	return nil
+}
+
+// RunRounds fuzzes for exactly n sync rounds of SyncEvery additional execs
+// per live instance. Unlike RunExecs, the schedule is split-invariant —
+// RunRounds(k) followed by RunRounds(n-k) replays the exact same round and
+// sync boundaries as RunRounds(n) — which makes it the right unit for
+// checkpointed campaigns: a resumed campaign continues the original round
+// schedule bit for bit.
+func (c *Campaign) RunRounds(n int) error {
+	for r := 0; r < n; r++ {
+		if err := c.round(func(f *fuzzer.Fuzzer) error {
+			return f.RunExecs(c.cfg.SyncEvery)
+		}); err != nil {
+			return err
+		}
+		c.sync()
+		c.markBoundary()
 	}
 	return nil
 }
@@ -135,27 +221,90 @@ func (c *Campaign) RunFor(d time.Duration) error {
 			return err
 		}
 		c.sync()
+		c.markBoundary()
 	}
 }
 
-// round runs fn concurrently on every instance and waits for all.
+// round runs fn concurrently on every live instance, recovering panics.
+// Instances that panicked or errored are revived from their last
+// sync-boundary checkpoint (losing at most one round of work); an instance
+// out of restarts is marked failed and skipped from here on. The returned
+// error is non-nil only when no live instance remains.
 func (c *Campaign) round(fn func(*fuzzer.Fuzzer) error) error {
 	errs := make([]error, len(c.fuzzers))
 	var wg sync.WaitGroup
 	for i, f := range c.fuzzers {
+		if c.failed[i] != nil {
+			continue
+		}
 		wg.Add(1)
 		go func(i int, f *fuzzer.Fuzzer) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[i] = fmt.Errorf("instance %d panicked: %v", i, r)
+				}
+			}()
+			if c.testFaultHook != nil {
+				c.testFaultHook(i, f)
+			}
 			errs[i] = fn(f)
 		}(i, f)
 	}
 	wg.Wait()
-	return errors.Join(errs...)
+	for i, err := range errs {
+		if err != nil {
+			c.reviveOrFail(i, err)
+		}
+	}
+	if err := c.allFailedErr(); err != nil {
+		return err
+	}
+	return nil
 }
 
-// sync cross-pollinates: every instance re-executes the queue entries its
-// peers found since the last exchange and keeps the ones that add local
-// coverage, like AFL's sync_fuzzers.
+// reviveOrFail restarts instance i from its last checkpoint, backing off
+// exponentially per attempt; when the restart budget runs out the instance
+// is abandoned with its accumulated errors and the campaign carries on.
+func (c *Campaign) reviveOrFail(i int, cause error) {
+	for c.restarts[i] < c.cfg.MaxRestarts {
+		c.restarts[i]++
+		c.sleep(c.cfg.RestartBackoff << (c.restarts[i] - 1))
+		f, err := fuzzer.Resume(c.prog, c.instanceCfg(i), c.snaps[i])
+		if err == nil {
+			c.fuzzers[i] = f
+			copy(c.seenUpTo[i], c.seenSnap[i])
+			return
+		}
+		cause = errors.Join(cause, fmt.Errorf("restart %d: %w", c.restarts[i], err))
+	}
+	c.failed[i] = cause
+}
+
+func (c *Campaign) allFailedErr() error {
+	for _, err := range c.failed {
+		if err == nil {
+			return nil
+		}
+	}
+	return fmt.Errorf("parallel: all instances failed: %w", errors.Join(c.failed...))
+}
+
+// markBoundary records every live instance's state (and import bookkeeping)
+// as the revival point for the next round. Called with no instance running.
+func (c *Campaign) markBoundary() {
+	for i, f := range c.fuzzers {
+		if c.failed[i] != nil {
+			continue
+		}
+		c.snaps[i] = f.Snapshot()
+		copy(c.seenSnap[i], c.seenUpTo[i])
+	}
+}
+
+// sync cross-pollinates: every live instance re-executes the queue entries
+// its live peers found since the last exchange and keeps the ones that add
+// local coverage, like AFL's sync_fuzzers.
 func (c *Campaign) sync() {
 	if len(c.fuzzers) < 2 {
 		return
@@ -164,6 +313,9 @@ func (c *Campaign) sync() {
 	// cascade within a single round.
 	snapshots := make([][][]byte, len(c.fuzzers))
 	for j, f := range c.fuzzers {
+		if c.failed[j] != nil {
+			continue
+		}
 		entries := f.Queue().Entries()
 		inputs := make([][]byte, len(entries))
 		for k, e := range entries {
@@ -172,8 +324,11 @@ func (c *Campaign) sync() {
 		snapshots[j] = inputs
 	}
 	for i, f := range c.fuzzers {
+		if c.failed[i] != nil {
+			continue
+		}
 		for j := range c.fuzzers {
-			if i == j {
+			if i == j || c.failed[j] != nil {
 				continue
 			}
 			inputs := snapshots[j]
@@ -186,12 +341,85 @@ func (c *Campaign) sync() {
 }
 
 func (c *Campaign) allReached(perInstance uint64) bool {
-	for _, f := range c.fuzzers {
+	for i, f := range c.fuzzers {
+		if c.failed[i] != nil {
+			continue
+		}
 		if f.Execs() < perInstance {
 			return false
 		}
 	}
 	return true
+}
+
+// Snapshot captures the whole campaign as a checkpoint struct. Call it only
+// between Run calls (no instance mid-round). Failed instances contribute
+// their last good checkpoint, so resuming the campaign revives them with a
+// fresh restart budget.
+func (c *Campaign) Snapshot() *checkpoint.CampaignState {
+	n := len(c.fuzzers)
+	st := &checkpoint.CampaignState{
+		SyncEvery: c.cfg.SyncEvery,
+		SeenUpTo:  make([][]uint64, n),
+		Instances: make([]checkpoint.FuzzerState, n),
+	}
+	for i := range c.fuzzers {
+		var fs *checkpoint.FuzzerState
+		var seen []int
+		if c.failed[i] != nil {
+			fs, seen = c.snaps[i], c.seenSnap[i]
+		} else {
+			fs, seen = c.fuzzers[i].Snapshot(), c.seenUpTo[i]
+		}
+		st.Instances[i] = *fs
+		st.SeenUpTo[i] = make([]uint64, n)
+		for j, v := range seen {
+			st.SeenUpTo[i][j] = uint64(v)
+		}
+	}
+	return st
+}
+
+// Resume reconstructs a campaign from a checkpoint. prog and cfg must be the
+// campaign's originals (cfg.Instances may be zero to take the count from the
+// checkpoint; a non-zero mismatch is an error). Every instance — including
+// ones that had been marked failed — comes back live with a fresh restart
+// budget, since a process restart is exactly the recovery a stuck instance
+// needs.
+func Resume(prog *target.Program, cfg Config, st *checkpoint.CampaignState) (*Campaign, error) {
+	n := len(st.Instances)
+	if n < 1 {
+		return nil, ErrNoInstances
+	}
+	if cfg.Instances == 0 {
+		cfg.Instances = n
+	}
+	if cfg.Instances != n {
+		return nil, fmt.Errorf("parallel: resume instance count mismatch: config %d, checkpoint %d",
+			cfg.Instances, n)
+	}
+	if cfg.SyncEvery == 0 && st.SyncEvery != 0 {
+		cfg.SyncEvery = st.SyncEvery
+	}
+	c := newShell(prog, withDefaults(cfg))
+	for i := range c.fuzzers {
+		f, err := fuzzer.Resume(prog, c.instanceCfg(i), &st.Instances[i])
+		if err != nil {
+			return nil, fmt.Errorf("instance %d: %w", i, err)
+		}
+		c.fuzzers[i] = f
+	}
+	for i := range c.seenUpTo {
+		if len(st.SeenUpTo[i]) != n {
+			return nil, fmt.Errorf("parallel: malformed checkpoint: seenUpTo[%d] has %d columns, want %d",
+				i, len(st.SeenUpTo[i]), n)
+		}
+		for j, v := range st.SeenUpTo[i] {
+			c.seenUpTo[i][j] = int(v)
+		}
+	}
+	c.markBoundary()
+	return c, nil
 }
 
 // Report aggregates campaign-level results.
@@ -205,11 +433,22 @@ type Report struct {
 	UniqueCrashes int
 	// MaxEdges is the best single-instance edge coverage.
 	MaxEdges int
+	// Restarts sums instance revivals over the campaign's lifetime.
+	Restarts int
+	// FailedInstances counts instances abandoned after exhausting their
+	// restart budget.
+	FailedInstances int
+	// Errors holds each instance's terminal error, indexed by instance;
+	// nil for instances still live.
+	Errors []error
 }
 
 // Report snapshots the campaign.
 func (c *Campaign) Report() Report {
-	rep := Report{PerInstance: make([]fuzzer.Stats, len(c.fuzzers))}
+	rep := Report{
+		PerInstance: make([]fuzzer.Stats, len(c.fuzzers)),
+		Errors:      append([]error(nil), c.failed...),
+	}
 	union := crash.NewDeduper()
 	for i, f := range c.fuzzers {
 		st := f.Stats()
@@ -219,6 +458,10 @@ func (c *Campaign) Report() Report {
 			rep.MaxEdges = st.EdgesDiscovered
 		}
 		union.Merge(f.Crashes())
+		rep.Restarts += c.restarts[i]
+		if c.failed[i] != nil {
+			rep.FailedInstances++
+		}
 	}
 	rep.UniqueCrashes = union.Unique()
 	return rep

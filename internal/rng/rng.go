@@ -101,6 +101,25 @@ func (s *Source) Chance(n int) bool {
 	return s.Intn(n) == 0
 }
 
+// State returns the generator's full internal state, for checkpointing. A
+// Source restored with SetState produces exactly the stream the original
+// would have produced from this point on.
+func (s *Source) State() [4]uint64 {
+	return [4]uint64{s.s0, s.s1, s.s2, s.s3}
+}
+
+// SetState overwrites the internal state with a snapshot taken by State.
+// An all-zero state is invalid for xoshiro256** (the generator would emit
+// zeros forever); it is replaced by the state New(0) produces so a corrupt
+// checkpoint cannot wedge the stream.
+func (s *Source) SetState(st [4]uint64) {
+	if st[0]|st[1]|st[2]|st[3] == 0 {
+		s.Seed(0)
+		return
+	}
+	s.s0, s.s1, s.s2, s.s3 = st[0], st[1], st[2], st[3]
+}
+
 // Split derives an independent child Source. The child's stream is a
 // deterministic function of the parent state at the time of the call, so a
 // fixed call sequence yields a fixed set of child streams. Use this to give

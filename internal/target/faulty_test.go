@@ -1,0 +1,174 @@
+package target_test
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/bigmap/bigmap/internal/target"
+)
+
+// faultySpec is a slightly larger program than the golden one so flaky-block
+// selection has enough blocks to bite.
+var faultySpec = target.GenSpec{
+	Name: "faulty", Seed: 77, NumFuncs: 4, BlocksPerFunc: 8,
+	InputLen: 24, BranchFraction: 0.5,
+	Switches: 1, SwitchFanout: 3, Loops: 1, LoopMax: 4,
+}
+
+func faultyProgram(t *testing.T) *target.Program {
+	t.Helper()
+	prog, err := target.Generate(faultySpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+// runTrace executes input n times against the runner, returning each run's
+// visit stream and result.
+func runTrace(r target.Runner, input []byte, n int) ([][]uint32, []target.Result) {
+	traces := make([][]uint32, n)
+	results := make([]target.Result, n)
+	for i := 0; i < n; i++ {
+		tr := &traceTracer{}
+		results[i] = r.Run(input, tr, 0)
+		traces[i] = tr.ids
+	}
+	return traces, results
+}
+
+func TestFaultyZeroProfileIsTransparent(t *testing.T) {
+	prog := faultyProgram(t)
+	input := goldenInput()
+	clean := target.NewInterp(prog)
+	wantTr := &traceTracer{}
+	want := clean.Run(input, wantTr, 0)
+
+	f := target.NewFaulty(prog, target.FaultProfile{})
+	traces, results := runTrace(f, input, 5)
+	for i := range traces {
+		if !reflect.DeepEqual(traces[i], wantTr.ids) || !reflect.DeepEqual(results[i], want) {
+			t.Fatalf("run %d: zero-profile Faulty diverged from interpreter", i)
+		}
+	}
+}
+
+func TestFaultyDeterministicAcrossWrappers(t *testing.T) {
+	prog := faultyProgram(t)
+	prof := target.FaultProfile{
+		Seed: 99, FlakyEdgeFraction: 300, DropRate: 500,
+		SpuriousCrashRate: 100, SpuriousHangRate: 100, CycleJitterPct: 20,
+	}
+	input := goldenInput()
+	a := target.NewFaulty(prog, prof)
+	b := target.NewFaulty(prog, prof)
+	ta, ra := runTrace(a, input, 50)
+	tb, rb := runTrace(b, input, 50)
+	if !reflect.DeepEqual(ta, tb) || !reflect.DeepEqual(ra, rb) {
+		t.Fatal("same profile produced different fault sequences")
+	}
+}
+
+func TestFaultyFlakyEdgesFlicker(t *testing.T) {
+	prog := faultyProgram(t)
+	prof := target.FaultProfile{Seed: 5, FlakyEdgeFraction: 400, DropRate: 500}
+	f := target.NewFaulty(prog, prof)
+	if f.FlakyBlocks() == 0 {
+		t.Fatal("no flaky blocks chosen at 40% fraction")
+	}
+	traces, results := runTrace(f, goldenInput(), 40)
+	// All runs are OK (no spurious verdicts configured) but the traces must
+	// differ across executions: drops fire on some execs only.
+	distinct := map[int]bool{}
+	for i, tr := range traces {
+		if results[i].Status != target.StatusOK {
+			t.Fatalf("run %d: unexpected status %v", i, results[i].Status)
+		}
+		distinct[len(tr)] = true
+	}
+	short, full := false, false
+	for i := 1; i < len(traces); i++ {
+		switch {
+		case len(traces[i]) < len(traces[0]), len(traces[0]) < len(traces[i]):
+			short = true
+		case reflect.DeepEqual(traces[i], traces[0]):
+			full = true
+		}
+	}
+	if !short || !full {
+		t.Fatalf("expected a mix of dropped and clean runs, got trace lengths %v", distinct)
+	}
+}
+
+func TestFaultySpuriousVerdicts(t *testing.T) {
+	prog := faultyProgram(t)
+	prof := target.FaultProfile{Seed: 1, SpuriousCrashRate: 200, SpuriousHangRate: 200}
+	f := target.NewFaulty(prog, prof)
+	_, results := runTrace(f, goldenInput(), 100)
+	crashes, hangs := 0, 0
+	for _, r := range results {
+		switch r.Status {
+		case target.StatusCrash:
+			crashes++
+			if r.CrashSite != target.SpuriousCrashSite {
+				t.Fatalf("injected crash reported site %#x, want SpuriousCrashSite", r.CrashSite)
+			}
+		case target.StatusHang:
+			hangs++
+			if r.Cycles != target.DefaultBudget {
+				t.Fatalf("injected hang reported %d cycles, want full budget", r.Cycles)
+			}
+		}
+	}
+	if crashes == 0 || hangs == 0 {
+		t.Fatalf("expected both spurious crashes and hangs over 100 runs, got %d/%d", crashes, hangs)
+	}
+}
+
+func TestFaultyCycleJitter(t *testing.T) {
+	prog := faultyProgram(t)
+	clean := target.NewInterp(prog)
+	base := clean.Run(goldenInput(), target.NopTracer{}, 0).Cycles
+	f := target.NewFaulty(prog, target.FaultProfile{Seed: 3, CycleJitterPct: 30})
+	_, results := runTrace(f, goldenInput(), 50)
+	varied := false
+	for _, r := range results {
+		lo := base * 70 / 100
+		hi := base*130/100 + 1
+		if r.Cycles < lo || r.Cycles > hi {
+			t.Fatalf("jittered cycles %d outside [%d,%d]", r.Cycles, lo, hi)
+		}
+		if r.Cycles != base {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("cycle jitter never changed the reported cost")
+	}
+}
+
+func TestFaultyExecCountRestoreReplaysDecisions(t *testing.T) {
+	prog := faultyProgram(t)
+	prof := target.FaultProfile{
+		Seed: 42, FlakyEdgeFraction: 300, DropRate: 400,
+		SpuriousCrashRate: 150, SpuriousHangRate: 150, CycleJitterPct: 25,
+	}
+	input := goldenInput()
+
+	// Uninterrupted reference: 60 runs.
+	ref := target.NewFaulty(prog, prof)
+	wantTr, wantRes := runTrace(ref, input, 60)
+
+	// Interrupted: 25 runs, then a fresh wrapper restored at exec 25.
+	first := target.NewFaulty(prog, prof)
+	gotTr, gotRes := runTrace(first, input, 25)
+	resumed := target.NewFaulty(prog, prof)
+	resumed.SetExecCount(first.ExecCount())
+	tr2, res2 := runTrace(resumed, input, 35)
+	gotTr = append(gotTr, tr2...)
+	gotRes = append(gotRes, res2...)
+
+	if !reflect.DeepEqual(gotTr, wantTr) || !reflect.DeepEqual(gotRes, wantRes) {
+		t.Fatal("resumed wrapper diverged from uninterrupted fault sequence")
+	}
+}

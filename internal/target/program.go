@@ -253,6 +253,18 @@ type Compare struct {
 	Width int
 }
 
+// Runner is anything that can execute inputs against a traced target: the
+// interpreter itself, or a wrapper that perturbs its behaviour (see Faulty).
+// The executor drives a Runner, so the whole fuzzing stack is agnostic to
+// whether the target is the clean interpreter or a fault-injected one.
+type Runner interface {
+	// Run executes input under the cycle budget, reporting block events to
+	// tracer. See Interp.Run for the full contract.
+	Run(input []byte, tracer Tracer, budget uint64) Result
+	// Program returns the underlying program.
+	Program() *Program
+}
+
 // Tracer observes an execution. Visit fires once per executed block with the
 // block's ID — the exact event stream coverage instrumentation would emit.
 // EnterCall/LeaveCall bracket function calls with the call-site block ID, for

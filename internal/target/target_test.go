@@ -91,7 +91,7 @@ func TestInterpDeterministicTrace(t *testing.T) {
 		if !reflect.DeepEqual(res1, res2) {
 			t.Fatalf("run %d: result drifted: %+v vs %+v", i, res1, res2)
 		}
-		if !reflect.DeepEqual(first.ids, again.ids)  {
+		if !reflect.DeepEqual(first.ids, again.ids) {
 			t.Fatalf("run %d: visit trace drifted", i)
 		}
 	}
