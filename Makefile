@@ -1,12 +1,16 @@
 # Development targets; CI (.github/workflows/ci.yml) runs `make check`'s
 # steps verbatim.
 
-.PHONY: check build test vet race fuzz bench bench-smoke bench-all
+.PHONY: check build test vet race dbg fuzz fuzz-checkpoint bench bench-smoke bench-all
 
-check: vet build race
+check: vet build test race dbg
 
+# Static analysis: the stock go vet suite, then the repo's own invariant
+# checkers (cmd/bigmap-vet: determinism, kernelparity, codecsymmetry,
+# lockcheck). Any unsuppressed diagnostic fails the build.
 vet:
 	go vet ./...
+	go run ./cmd/bigmap-vet ./...
 
 build:
 	go build ./...
@@ -14,8 +18,17 @@ build:
 test:
 	go test ./...
 
+# Race detector over the whole tree. -short skips the multi-second
+# campaign-scale bench runs (40-50x slower under race, no goroutines of
+# their own); every package with real concurrency runs in full.
 race:
-	go test -race ./...
+	go test -race -short -timeout 15m ./...
+
+# Runtime invariant assertions (internal/core/dbg_assert.go) compiled in:
+# every core test runs with used_key / high-water-mark / bijection checks
+# live.
+dbg:
+	go test -tags bigmapdbg ./internal/core/
 
 # Short native-fuzzing smoke of the interpreter safety contract.
 fuzz:

@@ -1,0 +1,187 @@
+// Command bigmap-vet runs the repository's invariant analyzers (determinism,
+// kernelparity, codecsymmetry, lockcheck) over the module, multichecker
+// style. It is wired into `make vet` and CI next to `go vet`.
+//
+// Usage:
+//
+//	bigmap-vet [flags] [packages]
+//
+// Packages are directories or "dir/..." patterns (default ./...). By default
+// each analyzer runs only on the packages whose invariants it enforces (see
+// -list); -run=name1,name2 instead forces the named analyzers onto every
+// loaded package, which is how the analyzers are pointed at external trees
+// and test fixtures.
+//
+// Exit codes: 0 clean, 1 diagnostics reported, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/bigmap/bigmap/internal/analysis"
+	"github.com/bigmap/bigmap/internal/analysis/codecsymmetry"
+	"github.com/bigmap/bigmap/internal/analysis/determinism"
+	"github.com/bigmap/bigmap/internal/analysis/kernelparity"
+	"github.com/bigmap/bigmap/internal/analysis/lockcheck"
+)
+
+// scoped pairs an analyzer with the package-path suffixes it applies to by
+// default. An empty scope list means "never by default" (only via -run).
+type scoped struct {
+	analyzer *analysis.Analyzer
+	scope    []string
+}
+
+// analyzers is the bigmap-vet suite. Scopes name the packages whose
+// contracts each analyzer encodes; running them elsewhere would only produce
+// noise (e.g. wall-clock reads are fine in the CLI layer).
+var analyzers = []scoped{
+	{determinism.Analyzer, []string{
+		"internal/fuzzer", "internal/checkpoint", "internal/core",
+		"internal/parallel", "internal/mutation", "internal/target",
+		"internal/ensemble", "internal/bench",
+	}},
+	{kernelparity.Analyzer, []string{"internal/core"}},
+	{codecsymmetry.Analyzer, []string{"internal/checkpoint"}},
+	{lockcheck.Analyzer, []string{"internal/parallel"}},
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	flags := flag.NewFlagSet("bigmap-vet", flag.ContinueOnError)
+	flags.SetOutput(stderr)
+	list := flags.Bool("list", false, "list analyzers and their default package scopes, then exit")
+	only := flags.String("run", "", "comma-separated analyzer names to run on every loaded package (overrides default scoping)")
+	verbose := flags.Bool("v", false, "report per-package progress and suppressed-diagnostic counts")
+	if err := flags.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, s := range analyzers {
+			scope := "(via -run only)"
+			if len(s.scope) > 0 {
+				scope = strings.Join(s.scope, ", ")
+			}
+			fmt.Fprintf(stdout, "%-14s %s\n    default scope: %s\n", s.analyzer.Name, s.analyzer.Doc, scope)
+		}
+		return 0
+	}
+
+	selected, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	patterns := flags.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	rootHint := patterns[0]
+	if i := strings.Index(rootHint, "..."); i >= 0 {
+		rootHint = rootHint[:i]
+	}
+	if rootHint == "" {
+		rootHint = "."
+	}
+	if strings.HasSuffix(rootHint, "/") {
+		rootHint = strings.TrimSuffix(rootHint, "/")
+	}
+	root, err := analysis.FindModuleRoot(rootHint)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	mod, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	dirs, err := analysis.ExpandPatterns(root, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+
+	exit := 0
+	for _, dir := range dirs {
+		todo := analyzersFor(selected, dir, *only != "")
+		if len(todo) == 0 {
+			continue
+		}
+		pkg, err := mod.LoadDir(dir, true)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		for _, a := range todo {
+			diags, err := analysis.Run(a, pkg)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			for _, d := range diags {
+				rel, relErr := filepath.Rel(root, d.Pos.Filename)
+				if relErr != nil {
+					rel = d.Pos.Filename
+				}
+				fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+				exit = 1
+			}
+			if *verbose {
+				fmt.Fprintf(stderr, "bigmap-vet: %s: %s: %d diagnostics\n", pkg.Path, a.Name, len(diags))
+			}
+		}
+	}
+	return exit
+}
+
+// selectAnalyzers parses the -run list; empty means all (scoped).
+func selectAnalyzers(only string) ([]scoped, error) {
+	if only == "" {
+		return analyzers, nil
+	}
+	byName := make(map[string]*analysis.Analyzer)
+	for _, s := range analyzers {
+		byName[s.analyzer.Name] = s.analyzer
+	}
+	var out []scoped
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("bigmap-vet: unknown analyzer %q (see -list)", name)
+		}
+		out = append(out, scoped{analyzer: a})
+	}
+	return out, nil
+}
+
+// analyzersFor picks the analyzers that apply to a module-relative package
+// directory: every selected one when -run forced the set, otherwise those
+// whose scope suffix-matches the directory.
+func analyzersFor(selected []scoped, dir string, forced bool) []*analysis.Analyzer {
+	var out []*analysis.Analyzer
+	for _, s := range selected {
+		if forced {
+			out = append(out, s.analyzer)
+			continue
+		}
+		for _, suffix := range s.scope {
+			if dir == suffix || strings.HasSuffix(dir, "/"+suffix) {
+				out = append(out, s.analyzer)
+				break
+			}
+		}
+	}
+	return out
+}

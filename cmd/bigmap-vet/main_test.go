@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// vet invokes the driver in-process and returns (exit code, stdout, stderr).
+func vet(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestDirtyModuleExitsOne(t *testing.T) {
+	// Deliberately a relative pattern: the fixture is its own module, so
+	// this pins that patterns resolve against the working directory, not
+	// against the module root discovered from the pattern (which would
+	// double the path).
+	code, stdout, stderr := vet(t, "-run", "determinism", "testdata/dirty/...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stdout %q, stderr %q)", code, stdout, stderr)
+	}
+	if !strings.Contains(stdout, "time.Now reads the wall clock") {
+		t.Errorf("diagnostics missing the time.Now finding:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "[determinism]") {
+		t.Errorf("diagnostics missing the analyzer tag:\n%s", stdout)
+	}
+	// The suppressed site (Audited) must not be reported: exactly one
+	// diagnostic line.
+	if n := strings.Count(strings.TrimSpace(stdout), "\n") + 1; n != 1 {
+		t.Errorf("want exactly 1 diagnostic line, got %d:\n%s", n, stdout)
+	}
+}
+
+func TestCleanModuleExitsZero(t *testing.T) {
+	dir, err := filepath.Abs("testdata/clean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := vet(t, "-run", "determinism,codecsymmetry,kernelparity,lockcheck", dir+"/...")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stdout %q, stderr %q)", code, stdout, stderr)
+	}
+	if stdout != "" {
+		t.Errorf("expected no diagnostics, got:\n%s", stdout)
+	}
+}
+
+func TestMissingDirExitsTwo(t *testing.T) {
+	code, _, stderr := vet(t, filepath.Join("testdata", "no-such-dir"))
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 (stderr %q)", code, stderr)
+	}
+	if stderr == "" {
+		t.Error("expected a load error on stderr")
+	}
+}
+
+func TestUnknownAnalyzerExitsTwo(t *testing.T) {
+	code, _, stderr := vet(t, "-run", "nope", "testdata/clean/...")
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unknown analyzer") {
+		t.Errorf("stderr = %q, want unknown-analyzer error", stderr)
+	}
+}
+
+func TestListExitsZero(t *testing.T) {
+	code, stdout, _ := vet(t, "-list")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0", code)
+	}
+	for _, name := range []string{"determinism", "kernelparity", "codecsymmetry", "lockcheck"} {
+		if !strings.Contains(stdout, name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout)
+		}
+	}
+}
+
+// TestRepoTreeIsClean is the acceptance gate: the default scoped run over
+// the whole repository must report nothing. Skipped in -short mode — it
+// type-checks the full module.
+func TestRepoTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module vet run skipped in -short mode")
+	}
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := vet(t, root+"/...")
+	if code != 0 {
+		t.Fatalf("bigmap-vet over the repo tree: exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+}

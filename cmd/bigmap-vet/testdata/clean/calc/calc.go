@@ -1,0 +1,5 @@
+// Package calc is integration-test fixture code with nothing to report.
+package calc
+
+// Double doubles.
+func Double(x int) int { return 2 * x }

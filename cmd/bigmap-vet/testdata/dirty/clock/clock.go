@@ -1,0 +1,15 @@
+// Package clock is integration-test fixture code with known determinism
+// violations: one live, one suppressed.
+package clock
+
+import "time"
+
+// Stamp reads the wall clock with no audit annotation.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Audited reads the wall clock at an annotated site.
+func Audited() int64 {
+	return time.Now().UnixNano() //bigmap:nondeterministic-ok fixture: audited wall-clock read
+}

@@ -1,0 +1,214 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis surface, just large enough to host the
+// repository's invariant checkers (bigmap-vet). The build environment has no
+// module proxy access, so the framework is built on the standard library
+// alone: go/parser for syntax, go/types for semantics, and the "source"
+// importer for the standard library.
+//
+// The API deliberately mirrors x/tools so the analyzers could be ported to
+// the real framework by swapping imports: an Analyzer bundles a name, a doc
+// string and a Run function; Run receives a Pass holding one type-checked
+// package and reports Diagnostics.
+//
+// Suppression. Every analyzer names a directive (e.g. "nondeterministic-ok").
+// A comment of the form
+//
+//	//bigmap:nondeterministic-ok <why>
+//
+// on the offending line, or on a line by itself directly above it, suppresses
+// that analyzer's diagnostics for the line. The framework applies suppression
+// centrally in Pass.Report, so analyzers just report every violation they
+// see; audited sites stay visible (and greppable) in the source instead of
+// disappearing into a config file.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// DirectivePrefix introduces a suppression comment: //bigmap:<directive>.
+const DirectivePrefix = "bigmap:"
+
+// Analyzer is one named invariant checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -run flags.
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Directive is the suppression directive (without the bigmap: prefix)
+	// that silences this analyzer on an audited line, e.g.
+	// "nondeterministic-ok". Empty means the analyzer cannot be suppressed.
+	Directive string
+	// Run inspects one package and reports violations via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Diagnostic is one reported violation.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files holds every syntax file of the package, including in-package
+	// _test.go files when the package was loaded with tests.
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	// Report receives one diagnostic; the framework wraps it with
+	// suppression handling before it reaches the sink.
+	report func(Diagnostic)
+
+	// suppressed counts diagnostics silenced by a directive, for -verbose
+	// style accounting.
+	suppressed int
+
+	// directives maps file name -> set of lines carrying this analyzer's
+	// suppression directive. Built lazily.
+	directives map[string]map[int]bool
+}
+
+// IsTestFile reports whether f is a _test.go file.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Package).Filename, "_test.go")
+}
+
+// Reportf reports a violation at pos unless the line (or the line above it)
+// carries the analyzer's suppression directive.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	if p.suppressedAt(position) {
+		p.suppressed++
+		return
+	}
+	p.report(Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Suppressed returns how many diagnostics the pass silenced via directives.
+func (p *Pass) Suppressed() int { return p.suppressed }
+
+func (p *Pass) suppressedAt(pos token.Position) bool {
+	if p.Analyzer.Directive == "" {
+		return false
+	}
+	if p.directives == nil {
+		p.directives = collectDirectives(p.Fset, p.Files, p.Analyzer.Directive)
+	}
+	lines := p.directives[pos.Filename]
+	return lines[pos.Line] || lines[pos.Line-1]
+}
+
+// collectDirectives finds every line carrying //bigmap:<directive> in the
+// given files. The directive may be followed by free-form justification text.
+func collectDirectives(fset *token.FileSet, files []*ast.File, directive string) map[string]map[int]bool {
+	want := DirectivePrefix + directive
+	out := make(map[string]map[int]bool)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimSpace(text)
+				if text != want && !strings.HasPrefix(text, want+" ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				lines := out[pos.Filename]
+				if lines == nil {
+					lines = make(map[int]bool)
+					out[pos.Filename] = lines
+				}
+				lines[pos.Line] = true
+			}
+		}
+	}
+	return out
+}
+
+// Run applies one analyzer to one loaded package and returns its diagnostics
+// sorted by position.
+func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		report:   func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}
+
+// CalleePkgFunc resolves a call expression to (package path, function name)
+// when the callee is a package-level function of some package — either a
+// plain identifier (same package) or pkg.Func selector. Method calls and
+// calls through variables return ("", "").
+func CalleePkgFunc(info *types.Info, call *ast.CallExpr) (string, string) {
+	var id *ast.Ident
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fn
+	case *ast.SelectorExpr:
+		id = fn.Sel
+	default:
+		return "", ""
+	}
+	obj, ok := info.Uses[id].(*types.Func)
+	if !ok || obj.Type().(*types.Signature).Recv() != nil {
+		return "", ""
+	}
+	if obj.Pkg() == nil {
+		return "", ""
+	}
+	return obj.Pkg().Path(), obj.Name()
+}
+
+// ReceiverNamed returns the named type of a method call's receiver
+// expression (dereferencing one pointer), or nil: for w.u64(x) with w of
+// type *writer it returns the named type "writer".
+func ReceiverNamed(info *types.Info, call *ast.CallExpr) (*types.Named, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return nil, ""
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil, ""
+	}
+	return named, sel.Sel.Name
+}

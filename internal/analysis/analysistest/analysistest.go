@@ -1,0 +1,97 @@
+// Package analysistest runs an analyzer over a testdata module and checks
+// its diagnostics against expectations written in the source, mirroring
+// golang.org/x/tools/go/analysis/analysistest on top of the in-repo
+// framework.
+//
+// Expectations are comments of the form
+//
+//	code() // want "regexp"
+//
+// every line carrying a want comment must produce at least one diagnostic
+// whose message matches the regexp, and every diagnostic must land on a line
+// that wants it. Lines silenced with a //bigmap:<directive> comment simply
+// produce no diagnostic, so a suppressed case is a violation line with a
+// directive and no want.
+package analysistest
+
+import (
+	"regexp"
+	"strings"
+	"testing"
+
+	"github.com/bigmap/bigmap/internal/analysis"
+)
+
+var wantRe = regexp.MustCompile(`// want "((?:[^"\\]|\\.)*)"`)
+
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// Run loads each named package directory (relative to the testdata module
+// root dir, which must contain a go.mod), applies the analyzer with test
+// files included, and reports mismatches against the want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	mod, err := analysis.LoadModule(dir)
+	if err != nil {
+		t.Fatalf("loading testdata module %s: %v", dir, err)
+	}
+	for _, rel := range pkgs {
+		pkg, err := mod.LoadDir(rel, true)
+		if err != nil {
+			t.Fatalf("loading %s: %v", rel, err)
+		}
+		diags, err := analysis.Run(a, pkg)
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, rel, err)
+		}
+		checkExpectations(t, pkg, diags)
+	}
+}
+
+func checkExpectations(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text, -1) {
+					pat, err := unquoteWant(m[1])
+					if err != nil {
+						t.Errorf("%s: bad want pattern %q: %v", pkg.Fset.Position(c.Pos()), m[1], err)
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: pat})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// unquoteWant undoes the \" escaping the want syntax allows inside its
+// double-quoted pattern.
+func unquoteWant(s string) (*regexp.Regexp, error) {
+	return regexp.Compile(strings.ReplaceAll(s, `\"`, `"`))
+}

@@ -1,0 +1,147 @@
+// Package codecsymmetry checks that every encodeX/decodeX pair in a binary
+// codec reads and writes the same fields in the same order. The checkpoint
+// payload format (internal/checkpoint) is a flat field sequence with no
+// per-field tags, so a field appended to the encoder but not the decoder —
+// or two fields swapped on one side only — produces checkpoints that decode
+// into silently shifted state. The CRC cannot catch this: the bytes are
+// intact, the interpretation is wrong.
+//
+// The analyzer abstracts each codec function into its token sequence:
+//
+//   - a call to a method of the `writer` type contributes its method name
+//     (u64, int, u32, bool, str, bytes, u32s, u64s, state, …);
+//   - a call to a method of the `reader` type contributes its method name,
+//     with `length` normalized to `u64` (a length read matches the length
+//     prefix the encoder wrote with u64);
+//   - a call to another encode*/decode* function contributes sub:<suffix>,
+//     so nested records match by structure.
+//
+// Functions pair by name: encodeFoo ↔ decodeFoo, EncodeFoo ↔ DecodeFoo
+// (suffix match is case-insensitive). Loops are linearized — a repeated
+// group contributes its tokens once on both sides, which matches because
+// both sides drive their loops from the same length prefix.
+package codecsymmetry
+
+import (
+	"go/ast"
+	"strings"
+
+	"github.com/bigmap/bigmap/internal/analysis"
+)
+
+// Analyzer is the codec-symmetry checker.
+var Analyzer = &analysis.Analyzer{
+	Name:      "codecsymmetry",
+	Doc:       "encodeX/decodeX pairs must read and write fields in mirrored order and count",
+	Directive: "codec-ok",
+	Run:       run,
+}
+
+const (
+	writerType = "writer"
+	readerType = "reader"
+)
+
+func run(pass *analysis.Pass) error {
+	encoders := make(map[string]*ast.FuncDecl) // lowercase suffix -> decl
+	decoders := make(map[string]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || fn.Recv != nil {
+				continue
+			}
+			if suffix, ok := codecSuffix(fn.Name.Name, "encode"); ok {
+				encoders[suffix] = fn
+			} else if suffix, ok := codecSuffix(fn.Name.Name, "decode"); ok {
+				decoders[suffix] = fn
+			}
+		}
+	}
+
+	for suffix, enc := range encoders {
+		dec, ok := decoders[suffix]
+		if !ok {
+			pass.Reportf(enc.Pos(), "%s has no matching decoder; every codec field sequence needs both directions", enc.Name.Name)
+			continue
+		}
+		wTokens := tokens(pass, enc, writerType, "encode")
+		rTokens := tokens(pass, dec, readerType, "decode")
+		comparePair(pass, enc, dec, wTokens, rTokens)
+	}
+	for suffix, dec := range decoders {
+		if _, ok := encoders[suffix]; !ok {
+			pass.Reportf(dec.Pos(), "%s has no matching encoder; every codec field sequence needs both directions", dec.Name.Name)
+		}
+	}
+	return nil
+}
+
+func comparePair(pass *analysis.Pass, enc, dec *ast.FuncDecl, wTokens, rTokens []string) {
+	n := len(wTokens)
+	if len(rTokens) < n {
+		n = len(rTokens)
+	}
+	for i := 0; i < n; i++ {
+		if wTokens[i] != rTokens[i] {
+			pass.Reportf(dec.Pos(),
+				"codec drift at field #%d: %s writes %s but %s reads %s (sequences %v vs %v)",
+				i+1, enc.Name.Name, wTokens[i], dec.Name.Name, rTokens[i], wTokens, rTokens)
+			return
+		}
+	}
+	if len(wTokens) != len(rTokens) {
+		pass.Reportf(dec.Pos(),
+			"codec drift: %s writes %d fields %v but %s reads %d fields %v",
+			enc.Name.Name, len(wTokens), wTokens, dec.Name.Name, len(rTokens), rTokens)
+	}
+}
+
+// codecSuffix matches a codec function name against the encode/decode
+// prefix, case-insensitively, and returns the lowercased suffix.
+func codecSuffix(name, prefix string) (string, bool) {
+	if len(name) <= len(prefix) || !strings.EqualFold(name[:len(prefix)], prefix) {
+		return "", false
+	}
+	return strings.ToLower(name[len(prefix):]), true
+}
+
+// tokens linearizes fn's body into its codec token sequence.
+func tokens(pass *analysis.Pass, fn *ast.FuncDecl, recvType, subPrefix string) []string {
+	var out []string
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if named, method := analysis.ReceiverNamed(pass.Info, call); named != nil &&
+			named.Obj().Pkg() == pass.Pkg && named.Obj().Name() == recvType {
+			if tok := normalize(method); tok != "" {
+				out = append(out, tok)
+			}
+			return true
+		}
+		if pkg, callee := analysis.CalleePkgFunc(pass.Info, call); pkg == pass.Pkg.Path() {
+			if suffix, ok := codecSuffix(callee, subPrefix); ok {
+				out = append(out, "sub:"+suffix)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// normalize maps receiver method names to tokens; bookkeeping methods that
+// move no payload bytes are dropped.
+func normalize(method string) string {
+	switch method {
+	case "length":
+		return "u64" // a length read consumes the uvarint length prefix
+	case "fail", "err":
+		return ""
+	}
+	return method
+}

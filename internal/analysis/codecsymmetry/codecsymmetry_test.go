@@ -1,0 +1,11 @@
+package codecsymmetry
+
+import (
+	"testing"
+
+	"github.com/bigmap/bigmap/internal/analysis/analysistest"
+)
+
+func TestCodecSymmetry(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "codec")
+}

@@ -1,0 +1,91 @@
+// Package codec exercises the codec-symmetry analyzer: a matched pair, a
+// nested pair driven by a length prefix, order drift, count drift, orphaned
+// halves, and an audited (suppressed) legacy pair.
+package codec
+
+type writer struct{ buf []byte }
+
+func (w *writer) u64(v uint64)   { _ = v }
+func (w *writer) str(s string)   { _ = s }
+func (w *writer) bytes(b []byte) { _ = b }
+
+type reader struct {
+	buf []byte
+	err error
+}
+
+func (r *reader) u64() uint64        { return 0 }
+func (r *reader) str() string        { return "" }
+func (r *reader) bytes() []byte      { return nil }
+func (r *reader) length(min int) int { _ = min; return 0 }
+
+// Rec is the record the pairs below serialize.
+type Rec struct {
+	A uint64
+	B string
+}
+
+// encodeRec/decodeRec match: u64 then str.
+func encodeRec(w *writer, rec *Rec) {
+	w.u64(rec.A)
+	w.str(rec.B)
+}
+
+func decodeRec(r *reader) Rec {
+	return Rec{A: r.u64(), B: r.str()}
+}
+
+// encodeList/decodeList match through the length prefix and the nested
+// sub-codec: [u64 sub:rec] on both sides.
+func encodeList(w *writer, recs []Rec) {
+	w.u64(uint64(len(recs)))
+	for i := range recs {
+		encodeRec(w, &recs[i])
+	}
+}
+
+func decodeList(r *reader) []Rec {
+	n := r.length(1)
+	out := make([]Rec, n)
+	for i := range out {
+		out[i] = decodeRec(r)
+	}
+	return out
+}
+
+// encodeDrift/decodeDrift read fields in swapped order.
+func encodeDrift(w *writer, rec *Rec) {
+	w.u64(rec.A)
+	w.str(rec.B)
+}
+
+func decodeDrift(r *reader) Rec { // want "codec drift at field #1"
+	return Rec{B: r.str(), A: r.u64()}
+}
+
+// encodeShort/decodeShort disagree on the field count.
+func encodeShort(w *writer, rec *Rec) {
+	w.u64(rec.A)
+}
+
+func decodeShort(r *reader) Rec { // want "codec drift: encodeShort writes 1 fields"
+	return Rec{A: r.u64(), B: r.str()}
+}
+
+func encodeOrphan(w *writer, rec *Rec) { // want "no matching decoder"
+	w.u64(rec.A)
+}
+
+func decodeWidow(r *reader) uint64 { // want "no matching encoder"
+	return r.u64()
+}
+
+// encodeLegacy/decodeLegacy drift too, but the site is audited.
+func encodeLegacy(w *writer, rec *Rec) {
+	w.u64(rec.A)
+}
+
+//bigmap:codec-ok legacy decoder tolerates the reserved trailing field
+func decodeLegacy(r *reader) Rec {
+	return Rec{A: r.u64(), B: r.str()}
+}

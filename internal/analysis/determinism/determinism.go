@@ -1,0 +1,114 @@
+// Package determinism flags sources of nondeterminism in packages whose
+// behaviour must be bitwise reproducible across a checkpoint/resume cycle
+// (TestResumeMatchesUninterrupted). One stray wall-clock read or global RNG
+// call in the fuzzing loop silently breaks the resume guarantee long before
+// any test notices; this analyzer turns the contract into a build failure.
+//
+// Flagged:
+//
+//   - time.Now / time.Since / time.Until — wall-clock reads. Deadline APIs
+//     and stats timing are legitimately wall-clock; audited sites carry
+//     //bigmap:nondeterministic-ok.
+//   - package-level math/rand and math/rand/v2 functions — the global RNG is
+//     unseeded (and seeded differently per process); deterministic code must
+//     draw from an internal/rng stream captured by checkpoints.
+//   - range over a Go map inside serialization-shaped functions (Snapshot,
+//     encode*, hash*, …) — map iteration order is randomized per run, so
+//     bytes produced from it differ between the original and the resumed
+//     process unless the output is sorted afterwards. Sites that sort are
+//     annotated.
+//   - runtime.Stack / runtime.NumGoroutine outside crash reporting —
+//     goroutine identity leaks schedule-dependent values into the run.
+//
+// Test files are exempt: tests may time themselves freely.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"github.com/bigmap/bigmap/internal/analysis"
+)
+
+// Analyzer is the determinism checker.
+var Analyzer = &analysis.Analyzer{
+	Name:      "determinism",
+	Doc:       "flags wall-clock reads, global RNG use, map-order dependence and goroutine-identity tricks in replay/resume-relevant packages",
+	Directive: "nondeterministic-ok",
+	Run:       run,
+}
+
+// serializationShaped matches function names whose output feeds bytes that a
+// resume must reproduce: snapshots, encoders, hashes, checkpoint writers.
+var serializationShaped = regexp.MustCompile(`(?i)(snapshot|checkpoint|encode|marshal|serial|digest|hash|save|write)`)
+
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		case *ast.RangeStmt:
+			checkRange(pass, fn, n)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr) {
+	pkg, name := analysis.CalleePkgFunc(pass.Info, call)
+	switch pkg {
+	case "time":
+		if wallClockFuncs[name] {
+			pass.Reportf(call.Pos(),
+				"time.%s reads the wall clock; resume-relevant state must not depend on it (annotate //bigmap:nondeterministic-ok if this site is audited wall-clock API/stats timing)", name)
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors (New, NewSource, NewPCG, …) build owned streams and
+		// are fine; everything else at package level draws from the global
+		// RNG.
+		if !strings.HasPrefix(name, "New") {
+			pass.Reportf(call.Pos(),
+				"%s.%s draws from the global RNG, which is not captured by checkpoints; use an internal/rng stream owned by the component", pkg, name)
+		}
+	case "runtime":
+		if name == "Stack" || name == "NumGoroutine" {
+			pass.Reportf(call.Pos(),
+				"runtime.%s exposes goroutine identity/scheduling, which varies across runs", name)
+		}
+	}
+}
+
+func checkRange(pass *analysis.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	if !serializationShaped.MatchString(fn.Name.Name) {
+		return
+	}
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	pass.Reportf(rng.Pos(),
+		"map iteration order is randomized per process, but %s looks like a serialization path; sort the keys (and annotate //bigmap:nondeterministic-ok) or iterate a slice", fn.Name.Name)
+}

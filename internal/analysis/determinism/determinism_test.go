@@ -1,0 +1,11 @@
+package determinism
+
+import (
+	"testing"
+
+	"github.com/bigmap/bigmap/internal/analysis/analysistest"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "determ")
+}

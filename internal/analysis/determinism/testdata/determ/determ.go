@@ -1,0 +1,67 @@
+// Package determ exercises the determinism analyzer: wall-clock reads,
+// global RNG draws, map-order dependence in serialization-shaped functions,
+// and goroutine-identity tricks, plus audited (suppressed) variants of each.
+package determ
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+)
+
+// wallClock trips the time.Now and time.Since checks.
+func wallClock() time.Duration {
+	t0 := time.Now()      // want "time.Now reads the wall clock"
+	return time.Since(t0) // want "time.Since reads the wall clock"
+}
+
+// deadlineAPI is an audited wall-clock site: suppressed, no diagnostics.
+func deadlineAPI(d time.Duration) time.Time {
+	return time.Now().Add(d) //bigmap:nondeterministic-ok wall-clock deadline API by contract
+}
+
+// globalRNG trips the math/rand check.
+func globalRNG() int {
+	return rand.Intn(6) // want "draws from the global RNG"
+}
+
+// localRNG is fine: the stream is owned and seedable.
+func localRNG(seed int64) int {
+	return rand.New(rand.NewSource(seed)).Intn(6)
+}
+
+// snapshotKeys ranges over a map in a serialization-shaped function.
+func snapshotKeys(m map[uint32]bool) []uint32 {
+	out := make([]uint32, 0, len(m))
+	for k := range m { // want "map iteration order is randomized"
+		out = append(out, k)
+	}
+	return out
+}
+
+// encodeSorted is the audited pattern: the range feeds a sort, so the
+// serialized order is deterministic after all.
+func encodeSorted(m map[uint32]bool) []uint32 {
+	out := make([]uint32, 0, len(m))
+	//bigmap:nondeterministic-ok order restored by the sort below
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// tallyCounts ranges over a map outside any serialization path: fine.
+func tallyCounts(m map[uint32]int) int {
+	total := 0
+	for _, n := range m {
+		total += n
+	}
+	return total
+}
+
+// snapshotScheduler trips the goroutine-identity check.
+func snapshotScheduler() int {
+	return runtime.NumGoroutine() // want "goroutine identity/scheduling"
+}

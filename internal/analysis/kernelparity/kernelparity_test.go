@@ -1,0 +1,11 @@
+package kernelparity
+
+import (
+	"testing"
+
+	"github.com/bigmap/bigmap/internal/analysis/analysistest"
+)
+
+func TestKernelParity(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "kern")
+}

@@ -1,0 +1,43 @@
+// Package kern exercises the kernel-parity analyzer: a properly pinned
+// word/scalar pair, a kernel with no scalar reference, a pair no fuzz target
+// reaches, and an audited (suppressed) kernel.
+package kern
+
+func loadWord(p []byte) uint64 {
+	return uint64(p[0])
+}
+
+func storeWord(p []byte, w uint64) {
+	p[0] = byte(w)
+}
+
+// fooRegion/fooScalar is the healthy case: both reached by FuzzFoo.
+func fooRegion(p []byte) {
+	for i := 0; i+8 <= len(p); i += 8 {
+		storeWord(p[i:], loadWord(p[i:]))
+	}
+}
+
+func fooScalar(p []byte) {
+	for i := range p {
+		p[i] = p[i]
+	}
+}
+
+func barRegion(p []byte) uint64 { // want "no scalar reference barScalar"
+	return loadWord(p)
+}
+
+// bazRegion has its scalar, but no fuzz target exercises either.
+func bazRegion(p []byte) uint64 { // want "not reached by any Fuzz target"
+	return loadWord(p)
+}
+
+func bazScalar(p []byte) uint64 {
+	return uint64(p[0])
+}
+
+//bigmap:kernel-ok audited: qux is pinned exhaustively by table-driven unit tests
+func quxRegion(p []byte) uint64 {
+	return loadWord(p)
+}

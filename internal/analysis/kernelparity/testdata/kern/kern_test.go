@@ -1,0 +1,16 @@
+package kern
+
+import "testing"
+
+// FuzzFoo pins fooRegion against fooScalar through a helper, which the
+// analyzer must follow (reachability, not direct calls).
+func FuzzFoo(f *testing.F) {
+	f.Fuzz(func(t *testing.T, p []byte) {
+		checkFoo(p)
+	})
+}
+
+func checkFoo(p []byte) {
+	fooRegion(p)
+	fooScalar(p)
+}

@@ -1,0 +1,374 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build/constraint"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of a module.
+type Package struct {
+	// Path is the import path (module path + relative directory).
+	Path string
+	// Dir is the absolute directory.
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Module loads and type-checks packages of one Go module without invoking
+// the go tool: module-internal imports resolve against the module tree,
+// standard-library imports through the compiler's source importer. It is not
+// a general build system — no vendoring, no external module dependencies —
+// which is exactly the shape of this repository.
+type Module struct {
+	// Root is the absolute directory containing go.mod.
+	Root string
+	// Path is the module path declared in go.mod.
+	Path string
+
+	fset   *token.FileSet
+	std    types.Importer
+	cache  map[cacheKey]*Package
+	active map[string]bool // import-cycle guard
+}
+
+type cacheKey struct {
+	path  string
+	tests bool
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// LoadModule prepares a loader for the module rooted at root.
+func LoadModule(root string) (*Module, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	path := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			path = strings.TrimSpace(rest)
+			break
+		}
+	}
+	if path == "" {
+		return nil, fmt.Errorf("analysis: %s/go.mod has no module directive", root)
+	}
+	fset := token.NewFileSet()
+	return &Module{
+		Root:   root,
+		Path:   path,
+		fset:   fset,
+		std:    importer.ForCompiler(fset, "source", nil),
+		cache:  make(map[cacheKey]*Package),
+		active: make(map[string]bool),
+	}, nil
+}
+
+// Fset returns the module's shared file set.
+func (m *Module) Fset() *token.FileSet { return m.fset }
+
+// LoadDir loads the package in the given directory (absolute, or relative to
+// the module root). When tests is true, in-package _test.go files are
+// included; external (package foo_test) files are always skipped.
+func (m *Module) LoadDir(dir string, tests bool) (*Package, error) {
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(m.Root, dir)
+	}
+	rel, err := filepath.Rel(m.Root, dir)
+	if err != nil {
+		return nil, err
+	}
+	if strings.HasPrefix(rel, "..") {
+		return nil, fmt.Errorf("analysis: %s is outside module %s", dir, m.Root)
+	}
+	path := m.Path
+	if rel != "." {
+		path = m.Path + "/" + filepath.ToSlash(rel)
+	}
+	return m.load(path, tests)
+}
+
+// Import implements types.Importer for the type-checker: module-internal
+// paths load (without tests) from the module tree, everything else from the
+// standard library.
+func (m *Module) Import(path string) (*types.Package, error) {
+	if path == m.Path || strings.HasPrefix(path, m.Path+"/") {
+		pkg, err := m.load(path, false)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return m.std.Import(path)
+}
+
+func (m *Module) load(path string, tests bool) (*Package, error) {
+	key := cacheKey{path, tests}
+	if pkg, ok := m.cache[key]; ok {
+		return pkg, nil
+	}
+	if m.active[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	m.active[path] = true
+	defer delete(m.active, path)
+
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, m.Path), "/")
+	dir := filepath.Join(m.Root, filepath.FromSlash(rel))
+	files, err := m.parseDir(dir, tests)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no buildable Go files in %s", dir)
+	}
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: m}
+	tpkg, err := conf.Check(path, m.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: m.fset, Files: files, Types: tpkg, Info: info}
+	m.cache[key] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the buildable Go files of one directory: release build
+// tags only (custom tags like bigmapdbg evaluate false), in-package test
+// files only when tests is set.
+func (m *Module) parseDir(dir string, tests bool) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") && !tests {
+			continue
+		}
+		if !fileNameMatchesPlatform(name) {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var files []*ast.File
+	basePkg := ""
+	for _, name := range names {
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		if !buildConstraintSatisfied(src) {
+			continue
+		}
+		f, err := parser.ParseFile(m.fset, full, src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		pkgName := f.Name.Name
+		if strings.HasSuffix(name, "_test.go") {
+			// External test packages (package foo_test) are a separate
+			// compilation unit; the invariant checkers only need
+			// in-package tests.
+			if strings.HasSuffix(pkgName, "_test") {
+				continue
+			}
+		} else if basePkg == "" {
+			basePkg = pkgName
+		} else if pkgName != basePkg {
+			return nil, fmt.Errorf("analysis: %s: found packages %s and %s", dir, basePkg, pkgName)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// buildConstraintSatisfied evaluates a file's //go:build line for a release
+// build on the current platform; unknown tags (bigmapdbg and friends) are
+// false.
+func buildConstraintSatisfied(src []byte) bool {
+	for _, line := range strings.Split(string(src), "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "package ") {
+			break
+		}
+		if !constraint.IsGoBuild(trimmed) {
+			continue
+		}
+		expr, err := constraint.Parse(trimmed)
+		if err != nil {
+			return false
+		}
+		return expr.Eval(func(tag string) bool {
+			switch {
+			case tag == runtime.GOOS || tag == runtime.GOARCH:
+				return true
+			case tag == "unix":
+				return runtime.GOOS == "linux" || runtime.GOOS == "darwin"
+			case strings.HasPrefix(tag, "go1."):
+				return true
+			}
+			return false
+		})
+	}
+	return true
+}
+
+// fileNameMatchesPlatform applies the _GOOS/_GOARCH file-name convention.
+func fileNameMatchesPlatform(name string) bool {
+	base := strings.TrimSuffix(strings.TrimSuffix(name, ".go"), "_test")
+	parts := strings.Split(base, "_")
+	for _, part := range parts[1:] {
+		if knownGOOS[part] && part != runtime.GOOS {
+			return false
+		}
+		if knownGOARCH[part] && part != runtime.GOARCH {
+			return false
+		}
+	}
+	return true
+}
+
+var knownGOOS = map[string]bool{
+	"linux": true, "darwin": true, "windows": true, "freebsd": true,
+	"netbsd": true, "openbsd": true, "plan9": true, "solaris": true,
+	"js": true, "wasip1": true, "aix": true, "android": true, "ios": true,
+}
+
+var knownGOARCH = map[string]bool{
+	"amd64": true, "arm64": true, "386": true, "arm": true, "wasm": true,
+	"ppc64": true, "ppc64le": true, "mips": true, "mipsle": true,
+	"mips64": true, "mips64le": true, "riscv64": true, "s390x": true,
+	"loong64": true,
+}
+
+// ExpandPatterns resolves package arguments to module-relative directories:
+// a plain directory stands for itself, "dir/..." (or "./...") for every
+// package directory beneath it. testdata, hidden and _-prefixed directories
+// are skipped, as the go tool does.
+func ExpandPatterns(root string, args []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var out []string
+	add := func(path string) error {
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			return err
+		}
+		if rel == ".." || strings.HasPrefix(rel, ".."+string(filepath.Separator)) {
+			return fmt.Errorf("analysis: package %s is outside module root %s", path, root)
+		}
+		rel = filepath.ToSlash(rel)
+		if !seen[rel] {
+			seen[rel] = true
+			out = append(out, rel)
+		}
+		return nil
+	}
+	for _, arg := range args {
+		base, recursive := strings.CutSuffix(arg, "...")
+		base = strings.TrimSuffix(base, "/")
+		if base == "" {
+			base = "."
+		}
+		// Relative patterns resolve against the working directory, like the
+		// go tool's package patterns; root only anchors the returned
+		// module-relative paths. (Joining them to root instead would
+		// double the path whenever root was itself discovered from the
+		// pattern.)
+		dir, err := filepath.Abs(base)
+		if err != nil {
+			return nil, err
+		}
+		if !recursive {
+			if hasGoFiles(dir) {
+				if err := add(dir); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			return nil, fmt.Errorf("no Go files in %s", dir)
+		}
+		err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				return add(path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			return true
+		}
+	}
+	return false
+}

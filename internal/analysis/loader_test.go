@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadDirTypeChecksWithInternalImports(t *testing.T) {
+	mod, err := LoadModule("testdata")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if mod.Path != "tinymod" {
+		t.Fatalf("module path = %q, want tinymod", mod.Path)
+	}
+	pkg, err := mod.LoadDir("deps", false)
+	if err != nil {
+		t.Fatalf("LoadDir(deps): %v", err)
+	}
+	if pkg.Path != "tinymod/deps" {
+		t.Errorf("package path = %q, want tinymod/deps", pkg.Path)
+	}
+	if pkg.Types.Scope().Lookup("Biggest") == nil {
+		t.Errorf("Biggest not found in type-checked scope")
+	}
+}
+
+func TestLoaderExcludesUnknownBuildTags(t *testing.T) {
+	mod, err := LoadModule("testdata")
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	pkg, err := mod.LoadDir("tiny", false)
+	if err != nil {
+		// A duplicate Sorted from tagged.go would surface here.
+		t.Fatalf("LoadDir(tiny): %v", err)
+	}
+	for _, f := range pkg.Files {
+		name := filepath.Base(pkg.Fset.Position(f.Package).Filename)
+		if name == "tagged.go" {
+			t.Errorf("tagged.go (build tag sometag) was loaded in a release parse")
+		}
+	}
+}
+
+func TestExpandPatterns(t *testing.T) {
+	root, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := ExpandPatterns(root, []string{"testdata/..."})
+	if err != nil {
+		t.Fatalf("ExpandPatterns: %v", err)
+	}
+	want := map[string]bool{"deps": false, "tiny": false}
+	for _, d := range dirs {
+		if _, ok := want[d]; ok {
+			want[d] = true
+		}
+	}
+	for d, seen := range want {
+		if !seen {
+			t.Errorf("pattern testdata/... missed %s (got %v)", d, dirs)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+package lockcheck
+
+import (
+	"testing"
+
+	"github.com/bigmap/bigmap/internal/analysis/analysistest"
+)
+
+func TestLockcheck(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "locks")
+}

@@ -1,0 +1,16 @@
+// Package deps imports a module-internal sibling, so loading it exercises
+// the loader's recursive import resolution.
+package deps
+
+import "tinymod/tiny"
+
+// Biggest returns the largest value.
+func Biggest(vs []tiny.Value) int {
+	best := 0
+	for _, v := range vs {
+		if v.N > best {
+			best = v.N
+		}
+	}
+	return best
+}

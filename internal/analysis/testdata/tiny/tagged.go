@@ -1,0 +1,8 @@
+//go:build sometag
+
+package tiny
+
+// This file must be excluded by the loader: the sometag build tag is not a
+// release tag. If it were included, the duplicate Sorted would fail
+// type-checking.
+func Sorted(xs []int) []int { return xs }

@@ -1,0 +1,16 @@
+// Package tiny is loader-test fixture code.
+package tiny
+
+import "sort"
+
+// Value is exported so the dependent package below can use it.
+type Value struct {
+	N int
+}
+
+// Sorted returns a sorted copy.
+func Sorted(xs []int) []int {
+	out := append([]int(nil), xs...)
+	sort.Ints(out)
+	return out
+}

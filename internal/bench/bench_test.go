@@ -153,6 +153,9 @@ func TestThroughputShape(t *testing.T) {
 }
 
 func TestFig3SmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second campaign run")
+	}
 	opts := quickOpts()
 	opts.Benchmarks = []string{"zlib"}
 	tbl, err := Fig3(opts)
@@ -234,6 +237,9 @@ func TestScalingSmallRun(t *testing.T) {
 }
 
 func TestAblationSmallRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second campaign run")
+	}
 	opts := quickOpts()
 	opts.Benchmarks = []string{"zlib"}
 	tbl, err := Ablation(opts)

@@ -123,6 +123,7 @@ func (m *BigMap) Add(key uint32) {
 	if b < 255 {
 		m.coverage[k] = b + 1
 	}
+	m.debugCheckCounters()
 }
 
 // AddBatch records a whole buffered trace in one call — the flush half of
@@ -156,6 +157,7 @@ func (m *BigMap) AddBatch(keys []uint32) {
 		}
 	}
 	m.hw = hw
+	m.debugCheckCounters()
 }
 
 // growSlotKey doubles slotKey's capacity when it is full, keeping slot
@@ -176,6 +178,7 @@ func (m *BigMap) growSlotKey() {
 // untouched: slot assignments persist for the whole campaign so the same
 // edge always lands in the same slot.
 func (m *BigMap) Reset() {
+	m.debugCheckTraceClean()
 	clear(m.trace())
 	m.hw = -1
 }
@@ -304,5 +307,7 @@ func (m *BigMap) RestoreAssignments(slotKeys []uint32, dropped uint64) error {
 	m.slotKey = append(m.slotKey[:0], slotKeys...)
 	m.used = len(slotKeys)
 	m.dropped = dropped
+	m.debugCheckCounters()
+	m.debugCheckBijection()
 	return nil
 }

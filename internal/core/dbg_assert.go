@@ -1,0 +1,56 @@
+package core
+
+import "fmt"
+
+// This file is the executable form of BigMap's structural invariants
+// (§IV): the counters that make the used-region bound sound, the
+// guaranteed-zero region above the high-water mark that makes clipping
+// sound, and the index↔slot bijection that makes dense slots stable. Each
+// helper early-returns on the debugAssertions constant, so release builds
+// (no bigmapdbg tag) compile the calls away entirely; under -tags
+// bigmapdbg a violated invariant panics at the operation that broke it
+// rather than surfacing later as silently wrong coverage.
+
+// debugCheckCounters verifies the O(1) per-update invariants: the slot-key
+// table tracks used_key exactly, used_key never exceeds the slot capacity,
+// and the high-water mark stays inside [-1, used_key).
+func (m *BigMap) debugCheckCounters() {
+	if !debugAssertions {
+		return
+	}
+	if len(m.slotKey) != m.used {
+		panic(fmt.Sprintf("core: slotKey length %d diverged from used_key %d", len(m.slotKey), m.used))
+	}
+	if m.used > len(m.coverage) {
+		panic(fmt.Sprintf("core: used_key %d exceeds slot capacity %d", m.used, len(m.coverage)))
+	}
+	if m.hw < -1 || m.hw >= m.used {
+		panic(fmt.Sprintf("core: high-water mark %d outside [-1, used_key %d)", m.hw, m.used))
+	}
+}
+
+// debugCheckTraceClean verifies that every slot above the high-water mark
+// is zero — the invariant that lets classify, compare, hash, count and
+// reset clip their traversals at the mark.
+func (m *BigMap) debugCheckTraceClean() {
+	if !debugAssertions {
+		return
+	}
+	if last := lastNonZero(m.coverage[:m.used]); last > m.hw {
+		panic(fmt.Sprintf("core: slot %d non-zero above high-water mark %d", last, m.hw))
+	}
+}
+
+// debugCheckBijection verifies that index and slotKey are mutual inverses
+// over the used region: every assigned slot's key points back at that
+// slot. O(used_key), so it runs at restore boundaries, not per update.
+func (m *BigMap) debugCheckBijection() {
+	if !debugAssertions {
+		return
+	}
+	for slot, key := range m.slotKey[:m.used] {
+		if got := m.index[key]; int(got) != slot {
+			panic(fmt.Sprintf("core: index[%d] = %d, but slotKey assigns slot %d", key, got, slot))
+		}
+	}
+}

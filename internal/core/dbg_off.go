@@ -1,0 +1,8 @@
+//go:build !bigmapdbg
+
+package core
+
+// debugAssertions is false in release builds: every debugCheck* call body
+// is statically dead and the compiler removes it, so the hot path pays
+// nothing for the assertions in dbg_assert.go.
+const debugAssertions = false

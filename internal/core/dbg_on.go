@@ -1,0 +1,7 @@
+//go:build bigmapdbg
+
+package core
+
+// debugAssertions enables the runtime invariant checks in dbg_assert.go.
+// Build or test with -tags bigmapdbg to turn them on.
+const debugAssertions = true

@@ -68,6 +68,16 @@ func classifyCompareScalar(trace, virgin []byte, verdict Verdict, newEdges int) 
 	return verdict, newEdges
 }
 
+// appendTouchedScalar is the byte-at-a-time touched-index reference.
+func appendTouchedScalar(dst []uint32, p []byte) []uint32 {
+	for i, b := range p {
+		if b != 0 {
+			dst = append(dst, uint32(i))
+		}
+	}
+	return dst
+}
+
 // countNonZeroScalar is the byte-at-a-time CountNonZero reference.
 func countNonZeroScalar(p []byte) int {
 	n := 0

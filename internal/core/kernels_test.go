@@ -87,11 +87,7 @@ func checkKernelEquivalence(t *testing.T, trace, virgin []byte) {
 	}
 	var gotIdx, wantIdx []uint32
 	gotIdx = appendTouchedRegion(gotIdx, trace)
-	for i, b := range trace {
-		if b != 0 {
-			wantIdx = append(wantIdx, uint32(i))
-		}
-	}
+	wantIdx = appendTouchedScalar(wantIdx, trace)
 	if len(gotIdx) != len(wantIdx) {
 		t.Fatalf("appendTouched length diverged: word %d scalar %d", len(gotIdx), len(wantIdx))
 	}

@@ -48,6 +48,7 @@ func (f *Fuzzer) Snapshot() *checkpoint.FuzzerState {
 	}
 	if len(f.varSlots) > 0 {
 		st.VarSlots = make([]uint32, 0, len(f.varSlots))
+		//bigmap:nondeterministic-ok iteration feeds a sort.Slice below; serialized order is deterministic
 		for s := range f.varSlots {
 			st.VarSlots = append(st.VarSlots, s)
 		}
@@ -88,6 +89,7 @@ func (f *Fuzzer) Snapshot() *checkpoint.FuzzerState {
 	}
 	if f.paths != nil {
 		st.Paths = make([]checkpoint.PathFreq, 0, len(f.paths.freq))
+		//bigmap:nondeterministic-ok iteration feeds a sort.Slice below; serialized order is deterministic
 		for h, n := range f.paths.freq {
 			st.Paths = append(st.Paths, checkpoint.PathFreq{Hash: h, Count: n})
 		}

@@ -76,6 +76,79 @@ type Campaign struct {
 	// of every instance round — tests inject panics through it.
 	sleep         func(time.Duration)
 	testFaultHook func(instance int, f *fuzzer.Fuzzer)
+
+	// progress holds the live counters behind Progress. Instance
+	// goroutines publish into it mid-round, so it is the one piece of
+	// campaign state shared across goroutines.
+	progress progressState
+}
+
+// progressState is the campaign's live telemetry. Instance goroutines write
+// it concurrently during a round and Progress may be called from any
+// goroutine at any time, so every counter is published under mu instead of
+// being read off the (single-threaded) fuzzers.
+type progressState struct {
+	mu sync.Mutex
+
+	execs    []uint64 // guarded by mu; per-instance cumulative execs as of the last publish
+	rounds   int      // guarded by mu; completed sync rounds
+	revivals int      // guarded by mu; instance restarts from checkpoint
+	failed   int      // guarded by mu; instances abandoned after exhausting restarts
+}
+
+func (p *progressState) noteExecs(i int, n uint64) {
+	p.mu.Lock()
+	p.execs[i] = n
+	p.mu.Unlock()
+}
+
+func (p *progressState) noteRound() {
+	p.mu.Lock()
+	p.rounds++
+	p.mu.Unlock()
+}
+
+func (p *progressState) noteRevival() {
+	p.mu.Lock()
+	p.revivals++
+	p.mu.Unlock()
+}
+
+func (p *progressState) noteFailed() {
+	p.mu.Lock()
+	p.failed++
+	p.mu.Unlock()
+}
+
+// Progress is a point-in-time snapshot of campaign counters. Unlike Report,
+// it is safe to take from any goroutine while a round is running: the
+// numbers come from counters the instances publish, not from the fuzzers
+// themselves.
+type Progress struct {
+	// Execs holds each instance's cumulative exec count as of its most
+	// recent publish (the end of its last round slice).
+	Execs []uint64
+	// Rounds counts completed sync rounds.
+	Rounds int
+	// Revivals counts instance restarts from a sync-boundary checkpoint.
+	Revivals int
+	// Failed counts instances abandoned after exhausting their restart
+	// budget.
+	Failed int
+}
+
+// Progress returns the campaign's live counters. Safe to call concurrently
+// with a running Run* call, which Report is not.
+func (c *Campaign) Progress() Progress {
+	p := &c.progress
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Progress{
+		Execs:    append([]uint64(nil), p.execs...),
+		Rounds:   p.rounds,
+		Revivals: p.revivals,
+		Failed:   p.failed,
+	}
 }
 
 func withDefaults(cfg Config) Config {
@@ -115,6 +188,7 @@ func newShell(prog *target.Program, cfg Config) *Campaign {
 		failed:   make([]error, n),
 		sleep:    time.Sleep,
 	}
+	c.progress.execs = make([]uint64, n)
 	for i := 0; i < n; i++ {
 		c.seenUpTo[i] = make([]int, n)
 		c.seenSnap[i] = make([]int, n)
@@ -205,9 +279,9 @@ func (c *Campaign) RunRounds(n int) error {
 // configurations cannot overshoot the budget by a whole round, and corpora
 // still cross-pollinate between slices.
 func (c *Campaign) RunFor(d time.Duration) error {
-	deadline := time.Now().Add(d)
+	deadline := time.Now().Add(d) //bigmap:nondeterministic-ok wall-clock API by contract
 	for {
-		remaining := time.Until(deadline)
+		remaining := time.Until(deadline) //bigmap:nondeterministic-ok wall-clock API by contract
 		if remaining <= 0 {
 			return nil
 		}
@@ -249,6 +323,7 @@ func (c *Campaign) round(fn func(*fuzzer.Fuzzer) error) error {
 				c.testFaultHook(i, f)
 			}
 			errs[i] = fn(f)
+			c.progress.noteExecs(i, f.Execs())
 		}(i, f)
 	}
 	wg.Wait()
@@ -260,6 +335,7 @@ func (c *Campaign) round(fn func(*fuzzer.Fuzzer) error) error {
 	if err := c.allFailedErr(); err != nil {
 		return err
 	}
+	c.progress.noteRound()
 	return nil
 }
 
@@ -274,11 +350,14 @@ func (c *Campaign) reviveOrFail(i int, cause error) {
 		if err == nil {
 			c.fuzzers[i] = f
 			copy(c.seenUpTo[i], c.seenSnap[i])
+			c.progress.noteRevival()
+			c.progress.noteExecs(i, f.Execs())
 			return
 		}
 		cause = errors.Join(cause, fmt.Errorf("restart %d: %w", c.restarts[i], err))
 	}
 	c.failed[i] = cause
+	c.progress.noteFailed()
 }
 
 func (c *Campaign) allFailedErr() error {

@@ -1,0 +1,100 @@
+package parallel
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/bigmap/bigmap/internal/fuzzer"
+)
+
+// TestProgressConcurrentWithRun hammers Progress from several goroutines
+// while the campaign runs. Under `go test -race` this is the proof that the
+// progressState mutex covers every cross-goroutine access — the exact
+// invariant the lockcheck analyzer enforces statically.
+func TestProgressConcurrentWithRun(t *testing.T) {
+	prog, seeds := campaignTarget(t)
+	c, err := NewCampaign(prog, Config{
+		Instances: 3,
+		SyncEvery: 1000,
+		Fuzzer:    fuzzer.Config{Seed: 9, Scheme: fuzzer.SchemeBigMap},
+	}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				p := c.Progress()
+				if len(p.Execs) != 3 {
+					t.Errorf("Progress.Execs has %d entries, want 3", len(p.Execs))
+					return
+				}
+			}
+		}()
+	}
+
+	if err := c.RunExecs(5000); err != nil {
+		t.Fatal(err)
+	}
+	close(done)
+	wg.Wait()
+
+	p := c.Progress()
+	if p.Rounds == 0 {
+		t.Error("Progress.Rounds = 0 after RunExecs, want > 0")
+	}
+	for i, n := range p.Execs {
+		if n < 5000 {
+			t.Errorf("Progress.Execs[%d] = %d, want >= 5000", i, n)
+		}
+	}
+	if p.Revivals != 0 || p.Failed != 0 {
+		t.Errorf("healthy campaign reports Revivals=%d Failed=%d, want 0/0", p.Revivals, p.Failed)
+	}
+}
+
+// TestProgressCountsRevivalsAndFailures checks the supervisor paths publish
+// into the progress counters.
+func TestProgressCountsRevivalsAndFailures(t *testing.T) {
+	prog, seeds := campaignTarget(t)
+	c, err := NewCampaign(prog, Config{
+		Instances:   2,
+		SyncEvery:   500,
+		MaxRestarts: 2,
+		Fuzzer:      fuzzer.Config{Seed: 3, Scheme: fuzzer.SchemeBigMap},
+	}, seeds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.sleep = func(d time.Duration) {}
+	// Instance 1 panics on every round: two revivals, then abandonment.
+	c.testFaultHook = func(instance int, f *fuzzer.Fuzzer) {
+		if instance == 1 {
+			panic("injected fault")
+		}
+	}
+	if err := c.RunRounds(4); err != nil {
+		t.Fatal(err)
+	}
+	p := c.Progress()
+	if p.Revivals != 2 {
+		t.Errorf("Progress.Revivals = %d, want 2", p.Revivals)
+	}
+	if p.Failed != 1 {
+		t.Errorf("Progress.Failed = %d, want 1", p.Failed)
+	}
+	if p.Rounds != 4 {
+		t.Errorf("Progress.Rounds = %d, want 4", p.Rounds)
+	}
+}
