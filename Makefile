@@ -1,9 +1,9 @@
 # Development targets; CI (.github/workflows/ci.yml) runs `make check`'s
 # steps verbatim.
 
-.PHONY: check build test vet race dbg fuzz fuzz-checkpoint bench bench-smoke bench-all
+.PHONY: check build test vet race dbg notel fuzz fuzz-checkpoint bench bench-smoke bench-all
 
-check: vet build test race dbg
+check: vet build test race dbg notel
 
 # Static analysis: the stock go vet suite, then the repo's own invariant
 # checkers (cmd/bigmap-vet: determinism, kernelparity, codecsymmetry,
@@ -29,6 +29,13 @@ race:
 # live.
 dbg:
 	go test -tags bigmapdbg ./internal/core/
+
+# Telemetry compiled out (telemetry.New returns nil): the whole tree must
+# still build, and the suite must pass with every instrument on the nil
+# fast path. The default build/test targets cover the tag-off state.
+notel:
+	go build -tags bigmapnotel ./...
+	go test -tags bigmapnotel ./...
 
 # Short native-fuzzing smoke of the interpreter safety contract.
 fuzz:

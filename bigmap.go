@@ -13,13 +13,18 @@
 //     standing in for clang-instrumented binaries,
 //   - the laf-intel comparison-splitting pass (LafIntel),
 //   - an AFL-style fuzzer (NewFuzzer) and parallel campaigns (NewCampaign),
-//   - collision-rate analytics (CollisionRate, BirthdayProbability).
+//   - collision-rate analytics (CollisionRate, BirthdayProbability),
+//   - live observability (NewTelemetry, WithTelemetry, TelemetryHandler):
+//     an allocation-free metrics registry wired through the hot paths,
+//     exposed as Prometheus text, JSON snapshots and pprof over HTTP.
 //
 // See the examples directory for runnable walkthroughs and DESIGN.md for
 // the system inventory.
 package bigmap
 
 import (
+	"net/http"
+
 	"github.com/bigmap/bigmap/internal/checkpoint"
 	"github.com/bigmap/bigmap/internal/collision"
 	"github.com/bigmap/bigmap/internal/core"
@@ -30,6 +35,7 @@ import (
 	"github.com/bigmap/bigmap/internal/parallel"
 	"github.com/bigmap/bigmap/internal/rng"
 	"github.com/bigmap/bigmap/internal/target"
+	"github.com/bigmap/bigmap/internal/telemetry"
 	"github.com/bigmap/bigmap/internal/tmin"
 )
 
@@ -290,6 +296,39 @@ func NewCampaign(prog *Program, cfg CampaignConfig, seeds [][]byte) (*Campaign, 
 	return parallel.NewCampaign(prog, cfg, seeds)
 }
 
+// Observability types, re-exported from internal/telemetry.
+type (
+	// TelemetryRegistry is the process-wide metrics and event registry.
+	// A nil registry is valid everywhere and means "telemetry off": record
+	// sites reduce to nil checks with no clock reads or allocations.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetrySnapshot is a point-in-time copy of every metric.
+	TelemetrySnapshot = telemetry.Snapshot
+)
+
+// TelemetryEnabled reports whether the binary was built with telemetry
+// compiled in (false under the bigmapnotel build tag, where NewTelemetry
+// returns nil and the whole layer dead-code-eliminates).
+const TelemetryEnabled = telemetry.Enabled
+
+// NewTelemetry creates an observability registry to share across fuzzers and
+// campaigns. Under the bigmapnotel build tag it returns nil, which every
+// consumer treats as "off".
+func NewTelemetry() *TelemetryRegistry { return telemetry.New() }
+
+// WithTelemetry wires a fuzzing instance into an observability registry:
+// per-exec and per-stage timing histograms, progress counters, and
+// per-operation coverage-map timings. Instances sharing a registry aggregate
+// into the same metrics.
+func WithTelemetry(r *TelemetryRegistry) Option {
+	return func(c *fuzzer.Config) { c.Telemetry = r }
+}
+
+// TelemetryHandler serves a registry over HTTP: /metrics (Prometheus text
+// format), /stats (JSON snapshot) and /debug/pprof/. Safe with a nil
+// registry (metrics endpoints answer 503; pprof still works).
+func TelemetryHandler(r *TelemetryRegistry) http.Handler { return telemetry.Handler(r) }
+
 // Checkpoint types: serialized campaign state, written atomically with a
 // versioned, checksummed framing (see DESIGN.md §9).
 type (
@@ -302,8 +341,18 @@ type (
 // SaveFuzzerCheckpoint snapshots f and writes it to path atomically
 // (temp file + rename: a crash mid-write never destroys the previous
 // snapshot). Call between Run calls, never concurrently with fuzzing.
+// When the instance carries a telemetry registry, the encode+write duration
+// and the snapshot size are recorded (checkpoint_save_ns,
+// checkpoint_saved_bytes).
 func SaveFuzzerCheckpoint(path string, f *Fuzzer) error {
-	return checkpoint.Save(path, checkpoint.EncodeFuzzer(f.Snapshot()))
+	r := f.Telemetry()
+	h := r.Histogram("checkpoint_save_ns")
+	t0 := h.Start()
+	data := checkpoint.EncodeFuzzer(f.Snapshot())
+	err := checkpoint.Save(path, data)
+	h.Done(t0)
+	r.Gauge("checkpoint_saved_bytes").Set(int64(len(data)))
+	return err
 }
 
 // LoadFuzzerCheckpoint reads and validates a fuzzer checkpoint; corrupt or
@@ -325,9 +374,17 @@ func ResumeFuzzer(prog *Program, st *FuzzerCheckpoint, opts ...Option) (*Fuzzer,
 }
 
 // SaveCampaignCheckpoint snapshots a campaign (between Run calls) and
-// writes it to path atomically.
+// writes it to path atomically, recording the duration and snapshot size
+// when the campaign carries a telemetry registry.
 func SaveCampaignCheckpoint(path string, c *Campaign) error {
-	return checkpoint.Save(path, checkpoint.EncodeCampaign(c.Snapshot()))
+	r := c.Telemetry()
+	h := r.Histogram("checkpoint_save_ns")
+	t0 := h.Start()
+	data := checkpoint.EncodeCampaign(c.Snapshot())
+	err := checkpoint.Save(path, data)
+	h.Done(t0)
+	r.Gauge("checkpoint_saved_bytes").Set(int64(len(data)))
+	return err
 }
 
 // LoadCampaignCheckpoint reads and validates a campaign checkpoint.

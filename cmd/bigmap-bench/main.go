@@ -37,11 +37,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 
 	"github.com/bigmap/bigmap/internal/bench"
 	"github.com/bigmap/bigmap/internal/benchjson"
+	"github.com/bigmap/bigmap/internal/telemetry"
 )
 
 func main() {
@@ -71,8 +73,20 @@ func run(args []string) error {
 	csv := fs.Bool("csv", false, "emit CSV")
 	jsonOut := fs.Bool("json", false, "emit one JSON report (benchjson schema) instead of text tables")
 	quiet := fs.Bool("q", false, "suppress progress")
+	httpAddr := fs.String("http", "", "serve /debug/pprof/ (and /metrics if a registry exists) on this address during the run")
 	if err := fs.Parse(rest); err != nil {
 		return err
+	}
+
+	if *httpAddr != "" {
+		// Benchmarks measure the uninstrumented loop, so no registry is wired
+		// into the experiments; the endpoint exists to profile them (pprof).
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, telemetry.Handler(nil)); err != nil {
+				fmt.Fprintln(os.Stderr, "bigmap-bench: http:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "profiling endpoint on http://%s/debug/pprof/\n", *httpAddr)
 	}
 
 	opts := bench.Options{

@@ -13,12 +13,19 @@
 // last gasp on error or SIGINT/SIGTERM), and -resume continues an
 // interrupted campaign exactly where it stopped — same target flags
 // required, since the checkpoint stores state, not configuration.
+//
+// Live campaigns are observable: -http serves /metrics (Prometheus),
+// /stats (JSON) and /debug/pprof/ while fuzzing, and -stats-every prints a
+// one-line progress summary to stderr at that interval. Both wire the
+// fuzzer into a telemetry registry; without them the campaign runs with
+// telemetry fully off (zero overhead in the exec loop).
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -67,6 +74,8 @@ func run(args []string) error {
 	chkPath := fs.String("checkpoint", "", "checkpoint file (atomic snapshots; last-gasp on error/signal)")
 	chkEvery := fs.Uint64("checkpoint-every", 0, "execs between periodic checkpoints (0 = final/last-gasp only)")
 	resume := fs.Bool("resume", false, "resume the campaign from -checkpoint (same target flags required)")
+	httpAddr := fs.String("http", "", "serve /metrics, /stats and /debug/pprof/ on this address (e.g. :8080)")
+	statsEvery := fs.Float64("stats-every", 0, "seconds between one-line progress reports on stderr (0 = off)")
 	faultSeed := fs.Uint64("fault-seed", 1, "fault injector seed")
 	flakyEdges := fs.Int("flaky-edges", 0, "per-mille of blocks whose edges flicker across runs")
 	faultDrop := fs.Int("fault-drop", 0, "per-mille chance an exec drops its flaky edges")
@@ -104,10 +113,33 @@ func run(args []string) error {
 			stats.StaticEdgesBefore, stats.StaticEdgesAfter)
 	}
 
+	// Telemetry exists only when something consumes it; otherwise the
+	// campaign runs with the registry nil and the exec loop telemetry-free.
+	var reg *bigmap.TelemetryRegistry
+	if *httpAddr != "" || *statsEvery > 0 {
+		reg = bigmap.NewTelemetry()
+		if reg == nil {
+			fmt.Fprintln(os.Stderr, "  telemetry compiled out (bigmapnotel build); -http serves pprof only")
+		}
+	}
+	if *httpAddr != "" {
+		srv := &http.Server{Addr: *httpAddr, Handler: bigmap.TelemetryHandler(reg)}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintln(os.Stderr, "bigmap-fuzz: http:", err)
+			}
+		}()
+		defer srv.Close()
+		fmt.Printf("  observability on http://%s/ (metrics, stats, pprof)\n", *httpAddr)
+	}
+
 	opts := []bigmap.Option{
 		bigmap.WithScheme(bigmap.Scheme(*scheme)),
 		bigmap.WithMapSize(size),
 		bigmap.WithSeed(*seed),
+	}
+	if reg != nil {
+		opts = append(opts, bigmap.WithTelemetry(reg))
 	}
 	if *ngram > 0 {
 		opts = append(opts, bigmap.WithNGram(*ngram))
@@ -163,7 +195,10 @@ func run(args []string) error {
 
 	var f *bigmap.Fuzzer
 	if *resume {
+		lh := reg.Histogram("checkpoint_load_ns")
+		lt := lh.Start()
 		st, err := bigmap.LoadFuzzerCheckpoint(*chkPath)
+		lh.Done(lt)
 		if err != nil {
 			return fmt.Errorf("resume: %w", err)
 		}
@@ -171,8 +206,9 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("resume: %w", err)
 		}
-		fmt.Printf("  resumed from %s: %d execs, %d queue paths\n",
-			*chkPath, f.Execs(), f.Queue().Len())
+		rs := f.Stats()
+		fmt.Printf("  resumed from %s: %d execs, %d queue paths, %d edges, %d unique crashes, %d hangs\n",
+			*chkPath, rs.Execs, rs.Paths, rs.EdgesDiscovered, rs.UniqueCrashes, rs.Hangs)
 	} else {
 		f, err = bigmap.NewFuzzer(prog, opts...)
 		if err != nil {
@@ -216,7 +252,7 @@ func run(args []string) error {
 	defer signal.Stop(stop)
 
 	start := time.Now()
-	runErr := fuzzLoop(f, *execs, *seconds, *chkPath, *chkEvery, stop)
+	runErr := fuzzLoop(f, *execs, *seconds, *chkPath, *chkEvery, *statsEvery, stop)
 	elapsed := time.Since(start)
 
 	// Stats and the final checkpoint are flushed on the error path too — a
@@ -247,11 +283,11 @@ func run(args []string) error {
 	return runErr
 }
 
-// fuzzLoop drives the campaign in slices so signals are answered and
-// periodic checkpoints written between slices, never mid-round. The execs
-// budget is the campaign total, so a resumed campaign finishes the original
-// budget rather than starting a fresh one.
-func fuzzLoop(f *bigmap.Fuzzer, execs uint64, seconds float64, chkPath string, chkEvery uint64, stop <-chan os.Signal) error {
+// fuzzLoop drives the campaign in slices so signals are answered, periodic
+// checkpoints written and progress lines printed between slices, never
+// mid-round. The execs budget is the campaign total, so a resumed campaign
+// finishes the original budget rather than starting a fresh one.
+func fuzzLoop(f *bigmap.Fuzzer, execs uint64, seconds float64, chkPath string, chkEvery uint64, statsEvery float64, stop <-chan os.Signal) error {
 	if execs == 0 && seconds <= 0 {
 		return fmt.Errorf("need -execs or -seconds")
 	}
@@ -264,11 +300,26 @@ func fuzzLoop(f *bigmap.Fuzzer, execs uint64, seconds float64, chkPath string, c
 	if execs == 0 {
 		deadline = time.Now().Add(time.Duration(seconds * float64(time.Second)))
 	}
+	loopStart := time.Now()
+	var statsTick time.Duration
+	if statsEvery > 0 {
+		statsTick = time.Duration(statsEvery * float64(time.Second))
+	}
+	nextStats := loopStart.Add(statsTick)
 	for {
 		select {
 		case sig := <-stop:
 			return fmt.Errorf("interrupted by %v", sig)
 		default:
+		}
+		if statsTick > 0 && !time.Now().Before(nextStats) {
+			st := f.Stats()
+			el := time.Since(loopStart).Seconds()
+			fmt.Fprintf(os.Stderr,
+				"[stats] t=%.0fs execs=%d (%.0f/s) paths=%d edges=%d crashes=%d/%d hangs=%d\n",
+				el, st.Execs, float64(st.Execs)/el, st.Paths, st.EdgesDiscovered,
+				st.UniqueCrashes, st.Crashes, st.Hangs)
+			nextStats = time.Now().Add(statsTick)
 		}
 		var err error
 		if execs > 0 {

@@ -44,7 +44,7 @@ var analyzers = []scoped{
 	{determinism.Analyzer, []string{
 		"internal/fuzzer", "internal/checkpoint", "internal/core",
 		"internal/parallel", "internal/mutation", "internal/target",
-		"internal/ensemble", "internal/bench",
+		"internal/ensemble", "internal/bench", "internal/telemetry",
 	}},
 	{kernelparity.Analyzer, []string{"internal/core"}},
 	{codecsymmetry.Analyzer, []string{"internal/checkpoint"}},

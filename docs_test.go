@@ -1,0 +1,97 @@
+package bigmap_test
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// docFiles returns every markdown document the link checker guards: the
+// repo-root documents plus everything under docs/.
+func docFiles(t *testing.T) []string {
+	t.Helper()
+	files, err := filepath.Glob("*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := filepath.Glob("docs/*.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files = append(files, sub...)
+	if len(files) == 0 {
+		t.Fatal("no markdown files found; is the test running from the repo root?")
+	}
+	return files
+}
+
+// mdLink matches inline markdown links [text](target). Images and reference
+// definitions are rare enough here that the inline form is the contract.
+var mdLink = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// slugify approximates GitHub's heading-anchor algorithm closely enough for
+// the anchors these documents use: lowercase, punctuation dropped, spaces
+// to hyphens.
+func slugify(heading string) string {
+	h := strings.ToLower(strings.TrimSpace(heading))
+	var b strings.Builder
+	for _, r := range h {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '-' || r == '_':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
+// headingAnchors collects the anchor slugs of every ATX heading in a
+// markdown document.
+func headingAnchors(content string) map[string]bool {
+	anchors := make(map[string]bool)
+	for _, line := range strings.Split(content, "\n") {
+		if strings.HasPrefix(line, "#") {
+			anchors[slugify(strings.TrimLeft(line, "# "))] = true
+		}
+	}
+	return anchors
+}
+
+// TestDocsRelativeLinks fails on dead relative links in the repository's
+// documentation: a renamed file or section silently orphaning README or
+// DESIGN references is a CI failure, not a reader's surprise.
+func TestDocsRelativeLinks(t *testing.T) {
+	for _, file := range docFiles(t) {
+		raw, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		content := string(raw)
+		anchors := headingAnchors(content)
+		for _, m := range mdLink.FindAllStringSubmatch(content, -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"):
+				continue // external; not this test's business
+			case strings.HasPrefix(target, "#"):
+				if !anchors[strings.TrimPrefix(target, "#")] {
+					t.Errorf("%s: dead in-page anchor %q", file, target)
+				}
+			default:
+				path := target
+				if i := strings.IndexByte(path, '#'); i >= 0 {
+					path = path[:i]
+				}
+				path = filepath.Join(filepath.Dir(file), path)
+				if _, err := os.Stat(path); err != nil {
+					t.Errorf("%s: dead relative link %q (%v)", file, target, err)
+				}
+			}
+		}
+	}
+}

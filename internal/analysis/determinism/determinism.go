@@ -20,6 +20,12 @@
 //   - runtime.Stack / runtime.NumGoroutine outside crash reporting —
 //     goroutine identity leaks schedule-dependent values into the run.
 //
+// Package-level variable initializers are checked like function bodies: an
+// init-time wall-clock read is as resume-hostile as one in the loop. The
+// telemetry package's clock base (`var clockBase = time.Now()`) is the
+// audited exemplar — observability readings feed metrics only, never
+// resume-relevant state, so both of its clock sites carry the annotation.
+//
 // Test files are exempt: tests may time themselves freely.
 package determinism
 
@@ -52,11 +58,14 @@ func run(pass *analysis.Pass) error {
 			continue
 		}
 		for _, decl := range f.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
-				continue
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					checkFunc(pass, d)
+				}
+			case *ast.GenDecl:
+				checkVarInit(pass, d)
 			}
-			checkFunc(pass, fn)
 		}
 	}
 	return nil
@@ -72,6 +81,26 @@ func checkFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
 		}
 		return true
 	})
+}
+
+// checkVarInit applies the call checks to package-level variable
+// initializers, which run before main and feed whatever reads them for the
+// whole process lifetime (e.g. a clock base captured at startup).
+func checkVarInit(pass *analysis.Pass, decl *ast.GenDecl) {
+	for _, spec := range decl.Specs {
+		vs, ok := spec.(*ast.ValueSpec)
+		if !ok {
+			continue
+		}
+		for _, v := range vs.Values {
+			ast.Inspect(v, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					checkCall(pass, call)
+				}
+				return true
+			})
+		}
+	}
 }
 
 func checkCall(pass *analysis.Pass, call *ast.CallExpr) {

@@ -10,6 +10,19 @@ import (
 	"time"
 )
 
+// clockBase mirrors the telemetry package's audited monotonic clock base:
+// the one allowed package-level wall-clock read, whose readings feed metrics
+// only (never resume-relevant state), so the annotation suppresses it.
+var clockBase = time.Now() //bigmap:nondeterministic-ok telemetry-style clock base; readings feed metrics only
+
+// startupStamp is the same init-time read without an audit note: flagged.
+var startupStamp = time.Now() // want "time.Now reads the wall clock"
+
+// telemetryNow is the in-function half of the telemetry clock pattern.
+func telemetryNow() int64 {
+	return int64(time.Since(clockBase)) //bigmap:nondeterministic-ok monotonic metric timestamps, never resume-relevant
+}
+
 // wallClock trips the time.Now and time.Since checks.
 func wallClock() time.Duration {
 	t0 := time.Now()      // want "time.Now reads the wall clock"

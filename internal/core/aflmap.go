@@ -1,5 +1,7 @@
 package core
 
+import "github.com/bigmap/bigmap/internal/telemetry"
+
 // AFLMap is the single-level coverage bitmap used by vanilla AFL: one byte of
 // hit-count storage per coverage key. Updates are O(1) but every other map
 // operation (reset, classify, compare, hash) must traverse the entire bitmap,
@@ -9,9 +11,19 @@ package core
 // is the full-map iteration itself, which is the paper's point.
 type AFLMap struct {
 	bits []byte
+
+	// tel holds the optional per-operation telemetry histograms; the zero
+	// value is the disabled fast path (nil checks, no clock reads).
+	tel telemetry.MapOps
 }
 
-var _ Map = (*AFLMap)(nil)
+var (
+	_ Map          = (*AFLMap)(nil)
+	_ Instrumented = (*AFLMap)(nil)
+)
+
+// Instrument installs telemetry histograms for the per-testcase operations.
+func (m *AFLMap) Instrument(ops telemetry.MapOps) { m.tel = ops }
 
 // NewAFLMap creates a flat coverage map with the given hash-space size, which
 // must be a positive power of two (e.g. MapSize64K).
@@ -57,36 +69,47 @@ func (m *AFLMap) AddBatch(keys []uint32) {
 // Reset wipes the whole bitmap. This is the memset AFL performs before every
 // test case.
 func (m *AFLMap) Reset() {
+	t0 := m.tel.Reset.Start()
 	clear(m.bits)
+	m.tel.Reset.Done(t0)
 }
 
 // Classify converts exact hit counts to bucket bits in place, traversing the
 // full map. Like AFL++'s classify_counts, it skips zero words and classifies
 // non-zero words with halfword lookups.
 func (m *AFLMap) Classify() {
+	t0 := m.tel.Classify.Start()
 	classifyRegion(m.bits)
+	m.tel.Classify.Done(t0)
 }
 
 // CompareWith implements AFL's has_new_bits over the full map: any trace byte
 // that still has bits set in the virgin map is new coverage; hitting a fully
 // virgin byte (0xFF) means a brand-new edge rather than just a new bucket.
 func (m *AFLMap) CompareWith(virgin *Virgin) Verdict {
+	t0 := m.tel.Compare.Start()
 	verdict, newEdges := compareRegion(m.bits, virgin.bits)
 	virgin.discovered += newEdges
+	m.tel.Compare.Done(t0)
 	return verdict
 }
 
 // ClassifyAndCompare performs the merged classify+compare traversal (§IV-E):
 // one pass over the full map instead of two.
 func (m *AFLMap) ClassifyAndCompare(virgin *Virgin) Verdict {
+	t0 := m.tel.ClassifyCompare.Start()
 	verdict, newEdges := classifyCompareRegion(m.bits, virgin.bits)
 	virgin.discovered += newEdges
+	m.tel.ClassifyCompare.Done(t0)
 	return verdict
 }
 
 // Hash digests the full bitmap.
 func (m *AFLMap) Hash() uint64 {
-	return hashBytes(m.bits)
+	t0 := m.tel.Hash.Start()
+	h := hashBytes(m.bits)
+	m.tel.Hash.Done(t0)
+	return h
 }
 
 // CountNonZero counts keys with non-zero hit counts (AFL's count_bytes),

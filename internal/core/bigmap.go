@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+
+	"github.com/bigmap/bigmap/internal/telemetry"
 )
 
 // initialSlotCap is the dense-slot capacity preallocated at construction.
@@ -36,11 +38,17 @@ type BigMap struct {
 	used     int
 	hw       int    // highest slot touched since Reset, -1 when trace is clean
 	dropped  uint64 // first-sight keys seen after the slot space filled
+
+	// tel holds the optional per-operation telemetry histograms. The zero
+	// value (all nil) is the disabled fast path: each timed operation pays
+	// two nil checks and never reads the clock.
+	tel telemetry.MapOps
 }
 
 var (
-	_ Map       = (*BigMap)(nil)
-	_ Saturable = (*BigMap)(nil)
+	_ Map          = (*BigMap)(nil)
+	_ Saturable    = (*BigMap)(nil)
+	_ Instrumented = (*BigMap)(nil)
 )
 
 // NewBigMap creates a two-level coverage map with the given hash-space size,
@@ -80,6 +88,11 @@ func NewBigMapSlots(size, slotCap int) (*BigMap, error) {
 	}
 	return m, nil
 }
+
+// Instrument installs telemetry histograms for the per-testcase operations.
+// Timings are observability output only; they never influence fuzzing
+// decisions, so an instrumented campaign replays identically to a bare one.
+func (m *BigMap) Instrument(ops telemetry.MapOps) { m.tel = ops }
 
 // Size returns the hash space size.
 func (m *BigMap) Size() int { return len(m.index) }
@@ -178,15 +191,19 @@ func (m *BigMap) growSlotKey() {
 // untouched: slot assignments persist for the whole campaign so the same
 // edge always lands in the same slot.
 func (m *BigMap) Reset() {
+	t0 := m.tel.Reset.Start()
 	m.debugCheckTraceClean()
 	clear(m.trace())
 	m.hw = -1
+	m.tel.Reset.Done(t0)
 }
 
 // Classify converts exact hit counts to bucket bits in place over the
 // touched region only.
 func (m *BigMap) Classify() {
+	t0 := m.tel.Classify.Start()
 	classifyRegion(m.trace())
+	m.tel.Classify.Done(t0)
 }
 
 // CompareWith implements has_new_bits over the touched region. The virgin
@@ -195,16 +212,20 @@ func (m *BigMap) Classify() {
 // exactly the keys this execution hit; untouched slots are zero and can
 // never contribute a verdict.
 func (m *BigMap) CompareWith(virgin *Virgin) Verdict {
+	t0 := m.tel.Compare.Start()
 	verdict, newEdges := compareRegion(m.trace(), virgin.bits)
 	virgin.discovered += newEdges
+	m.tel.Compare.Done(t0)
 	return verdict
 }
 
 // ClassifyAndCompare performs the merged classify+compare traversal (§IV-E)
 // over the touched region.
 func (m *BigMap) ClassifyAndCompare(virgin *Virgin) Verdict {
+	t0 := m.tel.ClassifyCompare.Start()
 	verdict, newEdges := classifyCompareRegion(m.trace(), virgin.bits)
 	virgin.discovered += newEdges
+	m.tel.ClassifyCompare.Done(t0)
 	return verdict
 }
 
@@ -215,8 +236,11 @@ func (m *BigMap) ClassifyAndCompare(virgin *Virgin) Verdict {
 // The high-water mark already bounds the scan — the backward word-level
 // search only walks the (usually empty) zero gap below it.
 func (m *BigMap) Hash() uint64 {
+	t0 := m.tel.Hash.Start()
 	last := lastNonZero(m.trace())
-	return hashBytes(m.coverage[:last+1])
+	h := hashBytes(m.coverage[:last+1])
+	m.tel.Hash.Done(t0)
+	return h
 }
 
 // CountNonZero counts dense slots with non-zero hit counts.

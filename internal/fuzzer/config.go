@@ -5,6 +5,7 @@ import (
 
 	"github.com/bigmap/bigmap/internal/core"
 	"github.com/bigmap/bigmap/internal/target"
+	"github.com/bigmap/bigmap/internal/telemetry"
 )
 
 // Defaults mirroring AFL's config.h, scaled to the synthetic substrate.
@@ -124,6 +125,12 @@ type Config struct {
 	// saturates: excess keys are dropped and counted (Stats.DroppedKeys,
 	// Stats.MapSaturated) instead of corrupting existing coverage.
 	SlotCap int
+	// Telemetry, when non-nil, wires the instance into the observability
+	// registry: exec and per-stage timing histograms, progress counters, and
+	// per-operation map timings (the coverage map is instrumented through
+	// core.Instrumented). nil — the default — keeps the hot loop entirely
+	// telemetry-free: record sites reduce to nil checks and no clock reads.
+	Telemetry *telemetry.Registry
 }
 
 // applyDefaults fills zero fields in place and validates.

@@ -17,6 +17,7 @@ import (
 	"github.com/bigmap/bigmap/internal/mutation"
 	"github.com/bigmap/bigmap/internal/rng"
 	"github.com/bigmap/bigmap/internal/target"
+	"github.com/bigmap/bigmap/internal/telemetry"
 )
 
 // Fuzzer is one fuzzing instance: one target, one coverage map, one seed
@@ -57,6 +58,10 @@ type Fuzzer struct {
 	calibExecs      uint64          // executions spent on calibration and verification
 	spuriousCrashes uint64          // one-off crash verdicts quarantined
 	spuriousHangs   uint64          // one-off hang verdicts quarantined
+
+	// tel holds the optional observability handles (telemetry.go); the zero
+	// value is the disabled fast path.
+	tel telemetryHooks
 }
 
 // New creates a fuzzing instance for prog.
@@ -114,6 +119,7 @@ func New(prog *target.Program, cfg Config) (*Fuzzer, error) {
 		// never grow it (AppendTouched returns at most UsedKeys entries).
 		touchedScratch: make([]uint32, 0, 4096),
 		varSlots:       make(map[uint32]bool),
+		tel:            newTelemetryHooks(cfg.Telemetry, cov),
 		// The clock feeds only the RunFor deadline (a wall-clock API by
 		// contract) and the stage-timing stats; nothing resume-relevant
 		// reads it. The field indirection keeps this the sole wall-clock
@@ -124,6 +130,11 @@ func New(prog *target.Program, cfg Config) (*Fuzzer, error) {
 
 // Map exposes the coverage map (for harness inspection).
 func (f *Fuzzer) Map() core.Map { return f.cov }
+
+// Telemetry returns the instance's observability registry, nil when
+// telemetry was not configured. Callers layering their own timings (e.g.
+// checkpoint I/O around a single-threaded instance) record into it.
+func (f *Fuzzer) Telemetry() *telemetry.Registry { return f.cfg.Telemetry }
 
 // Queue exposes the seed pool (for harness inspection and corpus sync).
 func (f *Fuzzer) Queue() *corpus.Queue { return f.queue }
@@ -191,7 +202,9 @@ func (f *Fuzzer) Step() error {
 	f.queue.Cull()
 	e := f.selectEntry()
 	if !f.cfg.DisableTrim && !e.WasTrimmed {
+		t0 := f.tel.stageTrim.Start()
 		f.trim(e)
+		f.tel.stageTrim.Done(t0)
 		e.WasTrimmed = true
 	}
 	f.fuzzEntry(e)
@@ -234,16 +247,20 @@ func (f *Fuzzer) fuzzEntry(e *corpus.Entry) {
 	depth := e.Depth + 1
 
 	if f.cmp != nil && !e.WasFuzzed {
+		t0 := f.tel.stageCmplog.Start()
 		f.cmpLogStage(e, depth)
+		f.tel.stageCmplog.Done(t0)
 	}
 
 	if f.cfg.RunDeterministic && !e.WasFuzzed {
+		t0 := f.tel.stageDet.Start()
 		n := 0
 		f.mut.Deterministic(e.Input, func(candidate []byte) bool {
 			f.evaluate(candidate, "det", depth)
 			n++
 			return n&255 != 255 || !f.pastDeadline()
 		})
+		f.tel.stageDet.Done(t0)
 	}
 
 	rounds := f.havocRounds(e)
@@ -255,8 +272,10 @@ func (f *Fuzzer) fuzzEntry(e *corpus.Entry) {
 			rounds = 8
 		}
 	}
+	h0 := f.tel.stageHavoc.Start()
 	for i := 0; i < rounds; i++ {
 		if i&63 == 63 && f.pastDeadline() {
+			f.tel.stageHavoc.Done(h0)
 			e.FuzzLevel++
 			return
 		}
@@ -264,11 +283,14 @@ func (f *Fuzzer) fuzzEntry(e *corpus.Entry) {
 		f.evaluate(f.mut.Havoc(e.Input), "havoc", depth)
 		f.mut.RewardLast(f.queue.Len() > before)
 	}
+	f.tel.stageHavoc.Done(h0)
 	e.FuzzLevel++
 
 	if f.queue.Len() > 1 {
+		s0 := f.tel.stageSplice.Start()
 		for i := 0; i < f.cfg.SpliceRounds; i++ {
 			if i&15 == 15 && f.pastDeadline() {
+				f.tel.stageSplice.Done(s0)
 				return
 			}
 			other := f.queue.Get(f.src.Intn(f.queue.Len()))
@@ -281,6 +303,7 @@ func (f *Fuzzer) fuzzEntry(e *corpus.Entry) {
 			}
 			f.evaluate(f.mut.Havoc(spliced), "splice", depth)
 		}
+		f.tel.stageSplice.Done(s0)
 	}
 }
 
@@ -289,6 +312,7 @@ func (f *Fuzzer) fuzzEntry(e *corpus.Entry) {
 // input (input-to-state). The collection run costs one execution.
 func (f *Fuzzer) cmpLogStage(e *corpus.Entry, depth int) {
 	f.execs++ // the collection replay
+	f.tel.execs.Inc()
 	for _, p := range f.cmp.Collect(e.Input) {
 		f.evaluate(cmplog.Apply(e.Input, p), "cmplog", depth)
 	}
@@ -327,12 +351,14 @@ func (f *Fuzzer) evaluate(candidate []byte, foundBy string, depth int) {
 		}
 	case target.StatusCrash:
 		f.totalCrashes++
+		f.tel.crashes.Inc()
 		if verdict != core.VerdictNone {
 			f.aflUniqueCrash++
 		}
 		f.crashes.Observe(res.CrashSite, res.Stack, candidate)
 	case target.StatusHang:
 		f.totalHangs++
+		f.tel.hangs.Inc()
 	}
 }
 
@@ -357,8 +383,11 @@ func (f *Fuzzer) runOne(input []byte) (target.Result, core.Verdict) {
 		t0 = f.now()
 	}
 
+	e0 := f.tel.execNs.Start()
 	res := f.exec.Execute(input)
+	f.tel.execNs.Done(e0)
 	f.execs++
+	f.tel.execs.Inc()
 	if timed {
 		f.timings.Execution += f.now().Sub(t0)
 	}
@@ -418,8 +447,11 @@ func (f *Fuzzer) execClassify(input []byte) target.Result {
 		f.timings.Reset += f.now().Sub(t0)
 		t0 = f.now()
 	}
+	e0 := f.tel.execNs.Start()
 	res := f.exec.Execute(input)
+	f.tel.execNs.Done(e0)
 	f.execs++
+	f.tel.execs.Inc()
 	if timed {
 		f.timings.Execution += f.now().Sub(t0)
 		t0 = f.now()
@@ -444,6 +476,7 @@ func (f *Fuzzer) runVerified(input []byte) (target.Result, core.Verdict) {
 		first := res.Status
 		res = f.execClassify(input) // verification re-run
 		f.calibExecs++
+		f.tel.calibExecs.Inc()
 		if res.Status != first {
 			if first == target.StatusCrash {
 				f.spuriousCrashes++
@@ -483,6 +516,7 @@ func (f *Fuzzer) runVerified(input []byte) (target.Result, core.Verdict) {
 // clean runs. Runs that crash or hang mid-calibration contribute nothing.
 // The coverage map is clobbered; callers capture hash/touched beforehand.
 func (f *Fuzzer) calibrate(input []byte, firstTouched []uint32, firstCycles uint64) uint64 {
+	c0 := f.tel.stageCalibrate.Start()
 	counts := make(map[uint32]int, len(firstTouched))
 	for _, s := range firstTouched {
 		counts[s] = 1
@@ -492,6 +526,7 @@ func (f *Fuzzer) calibrate(input []byte, firstTouched []uint32, firstCycles uint
 	for i := 1; i < f.cfg.CalibrationRuns; i++ {
 		res := f.execClassify(input)
 		f.calibExecs++
+		f.tel.calibExecs.Inc()
 		if res.Status != target.StatusOK {
 			continue
 		}
@@ -508,6 +543,7 @@ func (f *Fuzzer) calibrate(input []byte, firstTouched []uint32, firstCycles uint
 			f.virginAll.Suppress(s)
 		}
 	}
+	f.tel.stageCalibrate.Done(c0)
 	return sum / uint64(okRuns)
 }
 
@@ -516,8 +552,11 @@ func (f *Fuzzer) calibrate(input []byte, firstTouched []uint32, firstCycles uint
 // stage needs for path comparison.
 func (f *Fuzzer) runForHash(input []byte) (target.Result, uint64) {
 	f.cov.Reset()
+	e0 := f.tel.execNs.Start()
 	res := f.exec.Execute(input)
+	f.tel.execNs.Done(e0)
 	f.execs++
+	f.tel.execs.Inc()
 	f.cov.Classify()
 	return res, f.cov.Hash()
 }
@@ -557,6 +596,7 @@ func (f *Fuzzer) enqueue(input []byte, res target.Result, foundBy string, depth 
 	f.queue.Add(e)
 	f.sumCycles += cycles
 	f.sumEdges += uint64(len(touched))
+	f.noteEnqueue()
 }
 
 // ImportInput re-executes an input found by another instance and enqueues it
@@ -569,6 +609,7 @@ func (f *Fuzzer) ImportInput(input []byte) bool {
 	in := make([]byte, len(input))
 	copy(in, input)
 	f.enqueue(in, res, "sync", 0)
+	f.tel.imports.Inc()
 	return true
 }
 

@@ -14,6 +14,13 @@
 // revived from its last sync-boundary checkpoint with exponential backoff,
 // and only abandoned (not the whole campaign) once its restart budget is
 // exhausted. The campaign itself fails only when every instance has.
+//
+// When the template fuzzer config carries a telemetry.Registry, every
+// instance shares it: fuzzer counters aggregate campaign-wide, each instance
+// publishes a campaign_instance_<i>_execs gauge, and supervisor decisions
+// (revivals, abandonments) land in the registry's event log. All telemetry
+// fields are atomic and nil-safe, so they are deliberately not part of the
+// mutex-guarded state.
 package parallel
 
 import (
@@ -26,6 +33,7 @@ import (
 	"github.com/bigmap/bigmap/internal/crash"
 	"github.com/bigmap/bigmap/internal/fuzzer"
 	"github.com/bigmap/bigmap/internal/target"
+	"github.com/bigmap/bigmap/internal/telemetry"
 )
 
 // ErrNoInstances is returned when a campaign is configured with < 1
@@ -81,6 +89,12 @@ type Campaign struct {
 	// goroutines publish into it mid-round, so it is the one piece of
 	// campaign state shared across goroutines.
 	progress progressState
+
+	// tel is the shared observability registry, taken from the fuzzer
+	// template config. The instances record into it directly (they share
+	// it through their own configs); the campaign adds round/revival
+	// bookkeeping and event-log entries. nil when telemetry is off.
+	tel *telemetry.Registry
 }
 
 // progressState is the campaign's live telemetry. Instance goroutines write
@@ -94,30 +108,43 @@ type progressState struct {
 	rounds   int      // guarded by mu; completed sync rounds
 	revivals int      // guarded by mu; instance restarts from checkpoint
 	failed   int      // guarded by mu; instances abandoned after exhausting restarts
+
+	// Telemetry mirrors of the counters above. The handles are atomic and
+	// nil-safe (nil when telemetry is off), so they sit outside the mutex.
+	telExecs    []*telemetry.Gauge
+	telRounds   *telemetry.Counter
+	telRevivals *telemetry.Counter
+	telFailed   *telemetry.Counter
 }
 
 func (p *progressState) noteExecs(i int, n uint64) {
 	p.mu.Lock()
 	p.execs[i] = n
 	p.mu.Unlock()
+	if i < len(p.telExecs) {
+		p.telExecs[i].Set(int64(n))
+	}
 }
 
 func (p *progressState) noteRound() {
 	p.mu.Lock()
 	p.rounds++
 	p.mu.Unlock()
+	p.telRounds.Inc()
 }
 
 func (p *progressState) noteRevival() {
 	p.mu.Lock()
 	p.revivals++
 	p.mu.Unlock()
+	p.telRevivals.Inc()
 }
 
 func (p *progressState) noteFailed() {
 	p.mu.Lock()
 	p.failed++
 	p.mu.Unlock()
+	p.telFailed.Inc()
 }
 
 // Progress is a point-in-time snapshot of campaign counters. Unlike Report,
@@ -187,8 +214,19 @@ func newShell(prog *target.Program, cfg Config) *Campaign {
 		restarts: make([]int, n),
 		failed:   make([]error, n),
 		sleep:    time.Sleep,
+		tel:      cfg.Fuzzer.Telemetry,
 	}
 	c.progress.execs = make([]uint64, n)
+	if r := c.tel; r != nil {
+		c.progress.telExecs = make([]*telemetry.Gauge, n)
+		for i := 0; i < n; i++ {
+			c.progress.telExecs[i] = r.Gauge(fmt.Sprintf("campaign_instance_%d_execs", i))
+		}
+		c.progress.telRounds = r.Counter("campaign_rounds_total")
+		c.progress.telRevivals = r.Counter("campaign_revivals_total")
+		c.progress.telFailed = r.Counter("campaign_failed_instances_total")
+		r.Gauge("campaign_instances").Set(int64(n))
+	}
 	for i := 0; i < n; i++ {
 		c.seenUpTo[i] = make([]int, n)
 		c.seenSnap[i] = make([]int, n)
@@ -231,6 +269,10 @@ func NewCampaign(prog *target.Program, cfg Config, seeds [][]byte) (*Campaign, e
 
 // Instances returns the per-instance fuzzers (for inspection).
 func (c *Campaign) Instances() []*fuzzer.Fuzzer { return c.fuzzers }
+
+// Telemetry returns the campaign's shared observability registry (from the
+// fuzzer template config), nil when telemetry is off.
+func (c *Campaign) Telemetry() *telemetry.Registry { return c.tel }
 
 // RunExecs fuzzes until every live instance has executed at least
 // perInstance test cases, in concurrent rounds of SyncEvery execs with
@@ -352,12 +394,15 @@ func (c *Campaign) reviveOrFail(i int, cause error) {
 			copy(c.seenUpTo[i], c.seenSnap[i])
 			c.progress.noteRevival()
 			c.progress.noteExecs(i, f.Execs())
+			c.tel.Event("instance_revived",
+				fmt.Sprintf("instance %d restart %d: %v", i, c.restarts[i], cause))
 			return
 		}
 		cause = errors.Join(cause, fmt.Errorf("restart %d: %w", c.restarts[i], err))
 	}
 	c.failed[i] = cause
 	c.progress.noteFailed()
+	c.tel.Event("instance_failed", fmt.Sprintf("instance %d abandoned: %v", i, cause))
 }
 
 func (c *Campaign) allFailedErr() error {
@@ -416,6 +461,9 @@ func (c *Campaign) sync() {
 			}
 			c.seenUpTo[i][j] = len(inputs)
 		}
+		// Imports above count as executions; refresh the per-instance gauge
+		// so telemetry agrees with Report() at every sync boundary.
+		c.progress.noteExecs(i, f.Execs())
 	}
 }
 

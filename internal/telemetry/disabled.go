@@ -1,0 +1,7 @@
+//go:build bigmapnotel
+
+package telemetry
+
+// Enabled is false under the bigmapnotel build tag: New returns nil, every
+// handle is nil, and all record calls reduce to a nil check. See enabled.go.
+const Enabled = false

@@ -1,0 +1,10 @@
+//go:build !bigmapnotel
+
+package telemetry
+
+// Enabled reports whether the telemetry layer is compiled in. In default
+// builds it is true and telemetry is a runtime choice (a nil registry is
+// "off"); building with -tags bigmapnotel flips it to false, making New
+// return nil unconditionally so no registry — and therefore no clock read or
+// atomic add — can exist anywhere in the binary.
+const Enabled = true

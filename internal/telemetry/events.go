@@ -1,0 +1,93 @@
+package telemetry
+
+import "sync"
+
+// eventLogSize is the ring capacity: enough to hold a long campaign's cold
+// milestones (checkpoints, revivals, saturation, signals) without growing.
+const eventLogSize = 256
+
+// Event is one timestamped campaign milestone. AtNanos is monotonic
+// nanoseconds since process start (see Now), not wall-clock time.
+type Event struct {
+	AtNanos int64  `json:"at_ns"`
+	Name    string `json:"name"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// EventLog is a fixed-capacity ring buffer of events. Add is cheap but takes
+// a mutex — events are cold-path by design (a checkpoint save, an instance
+// revival), never per-execution. A nil *EventLog ignores writes.
+type EventLog struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total uint64
+}
+
+func newEventLog(capacity int) *EventLog {
+	return &EventLog{buf: make([]Event, 0, capacity)}
+}
+
+// Add appends an event, evicting the oldest once the ring is full.
+func (l *EventLog) Add(name, detail string) {
+	if l == nil {
+		return
+	}
+	e := Event{AtNanos: Now(), Name: name, Detail: detail}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.total++
+	if len(l.buf) < cap(l.buf) {
+		l.buf = append(l.buf, e)
+		return
+	}
+	l.buf[l.next] = e
+	l.next = (l.next + 1) % len(l.buf)
+}
+
+// Snapshot returns the retained events oldest-first and the total number
+// ever recorded (which exceeds len(events) once the ring has wrapped).
+func (l *EventLog) Snapshot() ([]Event, uint64) {
+	if l == nil {
+		return nil, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.buf))
+	out = append(out, l.buf[l.next:]...)
+	out = append(out, l.buf[:l.next]...)
+	return out, l.total
+}
+
+// Span measures one named operation from StartSpan to End. The zero Span
+// (from a nil registry) is inert. Spans are for cold, coarse operations —
+// checkpoint saves, calibration sweeps — where a map lookup per span and an
+// event log entry are noise; hot paths use pre-resolved Histogram handles.
+type Span struct {
+	r     *Registry
+	name  string
+	start int64
+}
+
+// StartSpan begins a span. Its duration lands in histogram "span_<name>_ns"
+// and its completion is appended to the event log.
+func (r *Registry) StartSpan(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{r: r, name: name, start: Now()}
+}
+
+// End closes the span, recording its duration and logging the event. detail
+// is free-form context for the event log ("1.4 MiB", "instance 3").
+func (s Span) End(detail string) {
+	if s.r == nil {
+		return
+	}
+	d := Now() - s.start
+	if d < 0 {
+		d = 0
+	}
+	s.r.Histogram("span_" + s.name + "_ns").Observe(uint64(d))
+	s.r.events.Add(s.name, detail)
+}

@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// NumBuckets is the fixed bucket count of every histogram: bucket i counts
+// values whose bit length is i, i.e. bucket 0 holds exactly 0, and bucket
+// i >= 1 holds [2^(i-1), 2^i - 1]. Covering the full uint64 range takes 65
+// buckets; the array is fixed at construction so recording never allocates
+// and the bucket layout is identical across runs (deterministic output,
+// trivially mergeable).
+const NumBuckets = 65
+
+// Histogram is a log2-bucketed distribution recorder sized for nanosecond
+// durations (sub-ns to ~580 years in 65 buckets). Recording is three atomic
+// adds and no allocation; Min/Max are maintained with CAS loops. The zero
+// value is ready to use; a nil *Histogram ignores all writes and — the
+// important half of the contract — never reads the clock, so instrumented
+// call sites cost two nil checks when telemetry is off.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Uint64
+	min     atomic.Uint64 // value+1, so 0 means "no observation yet"
+	max     atomic.Uint64
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	h.buckets[bits.Len64(v)].Add(1)
+	for {
+		cur := h.min.Load()
+		if cur != 0 && cur-1 <= v {
+			break
+		}
+		if h.min.CompareAndSwap(cur, v+1) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if cur >= v {
+			break
+		}
+		if h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Start begins timing a region: it returns the current monotonic reading,
+// or 0 without touching the clock when the histogram is nil. Pair with Done.
+func (h *Histogram) Start() int64 {
+	if h == nil {
+		return 0
+	}
+	return Now()
+}
+
+// Done records the duration since start (a value returned by Start on the
+// same histogram). On a nil histogram it is a no-op, matching Start's 0.
+func (h *Histogram) Done(start int64) {
+	if h == nil {
+		return
+	}
+	d := Now() - start
+	if d < 0 {
+		d = 0
+	}
+	h.Observe(uint64(d))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// HistogramSnapshot is the plain-data view of a histogram. Buckets holds all
+// NumBuckets cumulative-free counts (bucket i = values with bit length i);
+// consumers that want Prometheus-style cumulative buckets accumulate.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     uint64   `json:"sum"`
+	Min     uint64   `json:"min"`
+	Max     uint64   `json:"max"`
+	Mean    float64  `json:"mean"`
+	P50     uint64   `json:"p50"`
+	P90     uint64   `json:"p90"`
+	P99     uint64   `json:"p99"`
+	Buckets []uint64 `json:"buckets,omitempty"`
+}
+
+// snapshot reads the histogram's atomics. Concurrent recorders make the
+// numbers approximately consistent (count/sum/buckets may be mid-update
+// relative to each other), which is acceptable for observability output.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		Sum:   h.sum.Load(),
+		Max:   h.max.Load(),
+	}
+	if m := h.min.Load(); m > 0 {
+		s.Min = m - 1
+	}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	s.Buckets = make([]uint64, NumBuckets)
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.P50 = quantile(s.Buckets, s.Count, 0.50)
+	s.P90 = quantile(s.Buckets, s.Count, 0.90)
+	s.P99 = quantile(s.Buckets, s.Count, 0.99)
+	return s
+}
+
+// bucketUpper returns the largest value bucket i can hold: 0 for bucket 0,
+// 2^i - 1 otherwise.
+func bucketUpper(i int) uint64 {
+	if i == 0 {
+		return 0
+	}
+	if i >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(i) - 1
+}
+
+// quantile estimates the q-quantile from log2 bucket counts: it walks to the
+// bucket where the cumulative count crosses q*total and interpolates linearly
+// inside it. With power-of-two buckets the estimate is within 2x of the true
+// value, which is the deal fixed log-scale buckets buy: no allocation, no
+// sampling, no lock.
+func quantile(buckets []uint64, total uint64, q float64) uint64 {
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var cum uint64
+	for i, n := range buckets {
+		if n == 0 {
+			continue
+		}
+		if rank < cum+n {
+			lo := uint64(0)
+			if i > 0 {
+				lo = 1 << uint(i-1)
+			}
+			hi := bucketUpper(i)
+			// Linear interpolation inside the bucket.
+			frac := float64(rank-cum) / float64(n)
+			return lo + uint64(frac*float64(hi-lo))
+		}
+		cum += n
+	}
+	return bucketUpper(len(buckets) - 1)
+}
