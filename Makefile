@@ -1,7 +1,7 @@
 # Development targets; CI (.github/workflows/ci.yml) runs `make check`'s
 # steps verbatim.
 
-.PHONY: check build test vet race dbg notel fuzz fuzz-checkpoint bench bench-smoke bench-all
+.PHONY: check build test vet race dbg notel fuzz fuzz-checkpoint fuzz-selffuzz fuzz-all bench bench-smoke bench-all results
 
 check: vet build test race dbg notel
 
@@ -37,14 +37,27 @@ notel:
 	go build -tags bigmapnotel ./...
 	go test -tags bigmapnotel ./...
 
+# Per-target fuzzing budget for every fuzz* target below.
+FUZZTIME ?= 30s
+
 # Short native-fuzzing smoke of the interpreter safety contract.
 fuzz:
-	go test -fuzz=FuzzInterp -fuzztime=30s ./internal/target/
+	go test -fuzz=FuzzInterp -fuzztime=$(FUZZTIME) ./internal/target/
 
 # Checkpoint-codec robustness: decoders must reject arbitrary corruption
 # without panicking, and accepted inputs must round-trip.
 fuzz-checkpoint:
-	go test -fuzz=FuzzCheckpointRoundTrip -fuzztime=30s ./internal/checkpoint/
+	go test -fuzz=FuzzCheckpointRoundTrip -fuzztime=$(FUZZTIME) ./internal/checkpoint/
+
+# The adversarial self-fuzzing suite's flagship differential: AFL-scheme vs
+# BigMap semantics under arbitrary op programs (DESIGN §12).
+fuzz-selffuzz:
+	go test -fuzz=FuzzSchemeEquivalence -fuzztime=$(FUZZTIME) ./internal/selffuzz/
+
+# Every fuzz target in the tree, one FUZZTIME session each (Go permits a
+# single -fuzz pattern per invocation, so the script discovers and loops).
+fuzz-all:
+	FUZZTIME=$(FUZZTIME) ./scripts/fuzz-all.sh
 
 # Hot-path benchmark sweep (word kernels, batched exec loop, Fig. 3 map ops)
 # with allocation counts, emitted as the machine-readable BENCH_2.json.
@@ -65,3 +78,9 @@ bench-smoke:
 # Every benchmark in the repo, one iteration (sanity, not measurement).
 bench-all:
 	go test -run '^$$' -bench=. -benchtime=1x ./...
+
+# Regenerate every reproducible paper artifact under results/ from the
+# declarative grid (experiments.json). Deterministic: consecutive runs are
+# byte-identical; schema or header drift fails the run.
+results:
+	go run ./cmd/bigmap-bench grid -config experiments.json -out results

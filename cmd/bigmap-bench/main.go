@@ -19,6 +19,7 @@
 //	bigmap-bench ensemble [flags]            # §VI future work: ensemble vs stacking
 //	bigmap-bench schedules [flags]           # AFLFast power schedules on BigMap
 //	bigmap-bench all [flags]                 # everything above
+//	bigmap-bench grid [-config f] [-out dir] # declarative reproducible grid -> results/
 //	bigmap-bench benchjson [-o file]         # stdin: `go test -bench` text -> JSON report
 //
 // Common flags:
@@ -37,8 +38,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"github.com/bigmap/bigmap/internal/bench"
@@ -61,6 +64,9 @@ func run(args []string) error {
 
 	if sub == "benchjson" {
 		return runBenchJSON(rest)
+	}
+	if sub == "grid" {
+		return runGrid(rest)
 	}
 
 	fs := flag.NewFlagSet(sub, flag.ContinueOnError)
@@ -139,108 +145,46 @@ func run(args []string) error {
 	return nil
 }
 
-// dispatch runs one experiment subcommand through emit.
+// dispatch runs one experiment subcommand through emit. Every per-figure
+// subcommand resolves through the experiment registry, so the CLI, the `all`
+// sweep and the grid runner cannot drift apart.
 func dispatch(sub string, opts bench.Options, seconds float64, emit func(...*bench.Table) error) error {
-	switch sub {
-	case "fig2":
-		t, err := bench.Fig2()
-		if err != nil {
-			return err
-		}
-		return emit(t)
-	case "fig3":
-		t, err := bench.Fig3(opts)
-		if err != nil {
-			return err
-		}
-		return emit(t)
-	case "table2":
-		t, err := bench.Table2(opts)
-		if err != nil {
-			return err
-		}
-		return emit(t)
-	case "fig6", "fig7", "fig8":
-		grid, err := bench.RunFig678Grid(opts)
-		if err != nil {
-			return err
-		}
-		switch sub {
-		case "fig6":
-			return emit(grid.Fig6())
-		case "fig7":
-			return emit(grid.Fig7())
-		default:
-			return emit(grid.Fig8())
-		}
-	case "fig7t":
-		cov, crashes, err := bench.Fig7TimeBudget(opts, seconds)
-		if err != nil {
-			return err
-		}
-		return emit(cov, crashes)
-	case "table3":
-		t, err := bench.Table3(opts)
-		if err != nil {
-			return err
-		}
-		return emit(t)
-	case "fig9", "fig10":
-		res, err := bench.RunScaling(opts, seconds)
-		if err != nil {
-			return err
-		}
-		if sub == "fig9" {
-			return emit(res.Fig9a(), res.Fig9b())
-		}
-		return emit(res.Fig10())
-	case "ablation":
-		t, err := bench.Ablation(opts)
-		if err != nil {
-			return err
-		}
-		return emit(t)
-	case "dedup":
-		t, err := bench.DedupBias(opts)
-		if err != nil {
-			return err
-		}
-		return emit(t)
-	case "roadblocks":
-		t, err := bench.Roadblocks(opts)
-		if err != nil {
-			return err
-		}
-		return emit(t)
-	case "collafl":
-		t, err := bench.CollAFL(opts)
-		if err != nil {
-			return err
-		}
-		return emit(t)
-	case "metrics":
-		t, err := bench.Metrics(opts)
-		if err != nil {
-			return err
-		}
-		return emit(t)
-	case "ensemble":
-		t, err := bench.EnsembleVsStacking(opts)
-		if err != nil {
-			return err
-		}
-		return emit(t)
-	case "schedules":
-		t, err := bench.Schedules(opts)
-		if err != nil {
-			return err
-		}
-		return emit(t)
-	case "all":
+	if sub == "all" {
 		return runAll(opts, seconds, emit)
-	default:
-		return fmt.Errorf("unknown subcommand %q", sub)
 	}
+	tables, err := bench.RunExperiment(sub, opts, seconds)
+	if err != nil {
+		return err
+	}
+	return emit(tables...)
+}
+
+// runGrid implements the grid subcommand: execute a declarative
+// experiments.json and regenerate every artifact under the output directory.
+func runGrid(args []string) error {
+	fs := flag.NewFlagSet("grid", flag.ContinueOnError)
+	config := fs.String("config", "experiments.json", "declarative experiment grid (schema bigmap-grid/v1)")
+	out := fs.String("out", "results", "output directory for txt/csv/grid.json artifacts")
+	quiet := fs.Bool("q", false, "suppress progress")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := bench.LoadGridConfig(*config)
+	if err != nil {
+		return err
+	}
+	var progress io.Writer
+	if !*quiet {
+		progress = os.Stderr
+	}
+	res, err := bench.RunGridConfig(cfg, *out, progress)
+	if err != nil {
+		return err
+	}
+	for _, f := range res.Files {
+		fmt.Println(filepath.Join(*out, f))
+	}
+	return nil
 }
 
 // runAll regenerates every artifact in paper order.

@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/bigmap/bigmap/internal/benchjson"
+)
+
+func TestParseGridConfigRejects(t *testing.T) {
+	cases := []struct {
+		name, json, want string
+	}{
+		{"bad schema", `{"schema":"nope","experiments":[{"name":"fig2"}]}`, "schema"},
+		{"no experiments", `{"schema":"bigmap-grid/v1","experiments":[]}`, "no experiments"},
+		{"unnamed", `{"schema":"bigmap-grid/v1","experiments":[{}]}`, "no name"},
+		{"unknown experiment", `{"schema":"bigmap-grid/v1","experiments":[{"name":"fig99"}]}`, "unknown experiment"},
+		{"duplicate", `{"schema":"bigmap-grid/v1","experiments":[{"name":"fig2"},{"name":"fig2"}]}`, "twice"},
+		{"negative repeats", `{"schema":"bigmap-grid/v1","experiments":[{"name":"fig2","repeats":-1}]}`, "negative repeats"},
+		{"unknown field", `{"schema":"bigmap-grid/v1","experiments":[{"name":"fig2","drop_cols":["x"]}]}`, "unknown field"},
+		{"not json", `{"schema":`, "grid config"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseGridConfig([]byte(c.json))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %v, want substring %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestParseGridConfigAccepts(t *testing.T) {
+	cfg, err := ParseGridConfig([]byte(`{
+		"schema": "bigmap-grid/v1",
+		"defaults": {"scale": 0.02, "execs": 100, "seed": 7, "repeats": 2},
+		"experiments": [{"name": "fig2"}, {"name": "collafl", "execs": 50, "drop_columns": ["execs/s"]}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, _, repeats := cfg.resolve(cfg.Experiments[0])
+	if opts.Scale != 0.02 || opts.ExecsPerRun != 100 || opts.Seed != 7 || repeats != 2 {
+		t.Errorf("defaults not inherited: %+v repeats=%d", opts, repeats)
+	}
+	opts, _, _ = cfg.resolve(cfg.Experiments[1])
+	if opts.ExecsPerRun != 50 {
+		t.Errorf("override lost: execs=%d", opts.ExecsPerRun)
+	}
+}
+
+func TestDropColumns(t *testing.T) {
+	in := benchjson.TableJSON{
+		Title:  "t",
+		Header: []string{"a", "b", "c"},
+		Rows:   [][]string{{"1", "2", "3"}, {"4", "5", "6"}},
+	}
+	out, err := dropColumns(in, []string{"b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Header) != 2 || out.Header[0] != "a" || out.Header[1] != "c" {
+		t.Fatalf("header = %v", out.Header)
+	}
+	if out.Rows[1][1] != "6" {
+		t.Fatalf("rows = %v", out.Rows)
+	}
+	if _, err := dropColumns(in, []string{"nope"}); err == nil {
+		t.Fatal("unknown drop column accepted")
+	}
+	// No drop list: table passes through untouched.
+	same, err := dropColumns(in, nil)
+	if err != nil || len(same.Header) != 3 {
+		t.Fatalf("nil drop altered table: %v %v", same.Header, err)
+	}
+}
+
+// TestRunGridConfigEndToEnd runs the cheapest real experiment (fig2 is pure
+// math) through the full pipeline twice and checks artifact set, schema
+// validity of grid.json, header pinning, and byte-for-byte reproducibility.
+func TestRunGridConfigEndToEnd(t *testing.T) {
+	cfg, err := ParseGridConfig([]byte(`{
+		"schema": "bigmap-grid/v1",
+		"experiments": [{"name": "fig2"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := func(dir string) map[string]string {
+		res, err := RunGridConfig(cfg, dir, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := benchjson.Validate(res.Report); err != nil {
+			t.Fatalf("report invalid: %v", err)
+		}
+		want := []string{"fig2.txt", "fig2.csv", "grid.json"}
+		if len(res.Files) != len(want) {
+			t.Fatalf("files = %v, want %v", res.Files, want)
+		}
+		out := map[string]string{}
+		for _, f := range want {
+			data, err := os.ReadFile(filepath.Join(dir, f))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(data) == 0 {
+				t.Fatalf("%s is empty", f)
+			}
+			out[f] = string(data)
+		}
+		return out
+	}
+	a := read(t.TempDir())
+	b := read(t.TempDir())
+	for f := range a {
+		if a[f] != b[f] {
+			t.Errorf("%s not reproducible across runs", f)
+		}
+	}
+}
+
+// TestRunGridConfigHeaderDrift pins the failure mode: a drifted header must
+// error out before any artifact is written.
+func TestRunGridConfigHeaderDrift(t *testing.T) {
+	cfg, err := ParseGridConfig([]byte(`{
+		"schema": "bigmap-grid/v1",
+		"experiments": [{"name": "fig2", "expect_headers": [["wrong", "columns"]]}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if _, err := RunGridConfig(cfg, dir, nil); err == nil || !strings.Contains(err.Error(), "drifted") {
+		t.Fatalf("want header-drift error, got %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("drift run left artifacts behind: %v", entries)
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	names := map[string]bool{}
+	for _, e := range Registry() {
+		if e.Name == "" || e.Run == nil {
+			t.Fatalf("malformed registry entry %+v", e)
+		}
+		if names[e.Name] {
+			t.Fatalf("duplicate registry name %q", e.Name)
+		}
+		names[e.Name] = true
+	}
+	for _, want := range []string{"fig2", "fig78", "table3", "schedules"} {
+		if _, ok := Lookup(want); !ok {
+			t.Errorf("registry missing %q", want)
+		}
+	}
+	if _, ok := Lookup("fig99"); ok {
+		t.Error("bogus lookup succeeded")
+	}
+	if _, err := RunExperiment("fig99", Options{}, 0); err == nil {
+		t.Error("RunExperiment on unknown name succeeded")
+	}
+}

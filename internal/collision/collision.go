@@ -102,3 +102,82 @@ func Measure(keys []uint32) float64 {
 func MeasureDistinct(keys []uint32) float64 {
 	return Measure(keys)
 }
+
+// Colliding generates an adversarial key sequence for a coverage map of the
+// given hash-space size: n keys drawn from only `distinct` values, so every
+// draw past the first sight of each value collides. distinct is clamped to
+// [1, min(n, size)]. The values themselves concentrate on the map's boundary
+// slots (0, size-1, and the power-of-two midpoints), the indices where masking
+// and word-level kernel bugs live. The sequence is deterministic in seed via
+// a splitmix64 walk, so fuzz targets replaying a corpus see identical keys.
+func Colliding(size, n, distinct int, seed uint64) []uint32 {
+	if size <= 0 || n <= 0 {
+		return nil
+	}
+	if distinct < 1 {
+		distinct = 1
+	}
+	if distinct > n {
+		distinct = n
+	}
+	if distinct > size {
+		distinct = size
+	}
+	vals := boundaryKeys(size, distinct, seed)
+	out := make([]uint32, n)
+	x := seed ^ 0x9e3779b97f4a7c15
+	for i := range out {
+		x = splitmix64(x)
+		out[i] = vals[int(x%uint64(len(vals)))]
+	}
+	return out
+}
+
+// boundaryKeys returns `want` distinct keys < size biased toward the slots
+// where map implementations break: 0, size-1, and the ±1 neighbourhoods of
+// every power-of-two ≤ size. Remaining keys are filled from a deterministic
+// pseudo-random walk over the full space.
+func boundaryKeys(size, want int, seed uint64) []uint32 {
+	if want > size {
+		want = size
+	}
+	seen := make(map[uint32]struct{}, want)
+	out := make([]uint32, 0, want)
+	add := func(k int) {
+		if k < 0 || k >= size || len(out) >= want {
+			return
+		}
+		kk := uint32(k)
+		if _, ok := seen[kk]; ok {
+			return
+		}
+		seen[kk] = struct{}{}
+		out = append(out, kk)
+	}
+	add(0)
+	add(size - 1)
+	for p := 1; p <= size; p <<= 1 {
+		add(p - 1)
+		add(p)
+		add(p + 1)
+		if p > size/2 {
+			break
+		}
+	}
+	x := seed
+	for len(out) < want {
+		x = splitmix64(x)
+		add(int(x % uint64(size)))
+	}
+	return out
+}
+
+// splitmix64 is the SplitMix64 mixing function — a tiny, dependency-free
+// deterministic generator good enough for adversarial key synthesis.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

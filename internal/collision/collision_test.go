@@ -161,3 +161,104 @@ func TestEmpiricalMatchesAnalytical(t *testing.T) {
 		t.Errorf("empirical %.4f vs analytical %.4f differ by > 0.02", got, want)
 	}
 }
+
+// TestCollidingBoundaries is the table-driven boundary sweep of the
+// adversarial key generator: every (size, n, distinct) combination — including
+// degenerate 1-slot maps, exact-fit distinct==size, and requests larger than
+// the space — must produce exactly n in-range keys with exactly the clamped
+// number of distinct values, and always include the boundary slots 0 and
+// size-1 once there is room for them.
+func TestCollidingBoundaries(t *testing.T) {
+	tests := []struct {
+		name         string
+		size, n      int
+		distinct     int
+		wantDistinct int
+	}{
+		{"one-slot-map", 1, 10, 5, 1},
+		{"two-slot-map", 2, 16, 2, 2},
+		{"distinct-clamped-to-size", 8, 100, 999, 8},
+		{"distinct-clamped-to-n", 1 << 16, 4, 100, 4},
+		{"distinct-zero-clamped-up", 64, 8, 0, 1},
+		{"exact-fit", 16, 16, 16, 16},
+		{"map-64k", 1 << 16, 1000, 300, 300},
+		{"map-8M", 8 << 20, 500, 64, 64},
+		{"non-power-of-two-space", 1000, 128, 40, 40},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			keys := Colliding(tc.size, tc.n, tc.distinct, 42)
+			if len(keys) != tc.n {
+				t.Fatalf("got %d keys, want %d", len(keys), tc.n)
+			}
+			seen := map[uint32]struct{}{}
+			for _, k := range keys {
+				if int(k) >= tc.size {
+					t.Fatalf("key %d out of range for size %d", k, tc.size)
+				}
+				seen[k] = struct{}{}
+			}
+			if len(seen) > tc.wantDistinct {
+				t.Fatalf("got %d distinct values, want <= %d", len(seen), tc.wantDistinct)
+			}
+			// The drawn values come from a pool of exactly wantDistinct keys;
+			// with n >= 4*pool every pool member should be hit with
+			// overwhelming probability, but the hard guarantee is only the
+			// upper bound checked above. Pin the boundary-slot bias instead:
+			// pools of >= 2 keys always contain slots 0 and size-1.
+			if tc.wantDistinct >= 2 && tc.n >= 4*tc.wantDistinct {
+				if _, ok := seen[0]; !ok {
+					t.Error("boundary slot 0 never drawn")
+				}
+				if _, ok := seen[uint32(tc.size-1)]; !ok {
+					t.Errorf("boundary slot %d never drawn", tc.size-1)
+				}
+			}
+		})
+	}
+}
+
+// TestCollidingDegenerate pins the nil returns.
+func TestCollidingDegenerate(t *testing.T) {
+	if got := Colliding(0, 10, 5, 1); got != nil {
+		t.Errorf("size 0: got %v, want nil", got)
+	}
+	if got := Colliding(64, 0, 5, 1); got != nil {
+		t.Errorf("n 0: got %v, want nil", got)
+	}
+	if got := Colliding(-3, 10, 5, 1); got != nil {
+		t.Errorf("negative size: got %v, want nil", got)
+	}
+}
+
+// TestCollidingDeterministic: same arguments, same sequence — required by the
+// selffuzz corpus replays.
+func TestCollidingDeterministic(t *testing.T) {
+	a := Colliding(1<<16, 256, 32, 7)
+	b := Colliding(1<<16, 256, 32, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sequence diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := Colliding(1<<16, 256, 32, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical sequences")
+	}
+}
+
+// TestCollidingMeasuredRate: a sequence with distinct << n must measure a
+// high empirical collision rate — the generator's whole purpose.
+func TestCollidingMeasuredRate(t *testing.T) {
+	keys := Colliding(1<<16, 1000, 10, 3)
+	if rate := Measure(keys); rate < 0.9 {
+		t.Errorf("collision rate %.3f, want >= 0.9 (1000 draws over 10 values)", rate)
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/bigmap/bigmap/internal/selffuzz/seedcorpus"
+)
+
+// TestWriteKernelCorpus regenerates testdata/fuzz/FuzzKernelEquivalence with
+// the word-boundary trace/virgin pairs that historically distinguish the
+// SIMD-shaped kernels from the scalar references: lengths straddling 8- and
+// 64-byte boundaries, all-saturated traces, sparse single-hit words. Gated
+// behind BIGMAP_WRITE_CORPUS=1; see internal/selffuzz for the workflow.
+func TestWriteKernelCorpus(t *testing.T) {
+	if os.Getenv("BIGMAP_WRITE_CORPUS") != "1" {
+		t.Skip("set BIGMAP_WRITE_CORPUS=1 to regenerate testdata/fuzz corpora")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzKernelEquivalence")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	pairs := []struct {
+		trace, virgin []byte
+	}{
+		{[]byte{}, []byte{}},
+		{[]byte{1}, []byte{0xFF}},
+		{[]byte{0, 0, 0, 0, 0, 0, 0, 1}, []byte{0xFF}},
+		{bytes.Repeat([]byte{3}, 17), bytes.Repeat([]byte{0x55}, 17)},
+		{bytes.Repeat([]byte{255}, 32), bytes.Repeat([]byte{0}, 32)},
+		{[]byte{0, 1, 2, 3, 4, 7, 8, 15, 16, 31, 32, 127, 128, 255}, []byte{0xFF, 0xFE, 1, 0, 0x80, 0x0F}},
+		// Word-boundary straddles: 63/64/65 bytes with a lone hit at the seam.
+		{append(make([]byte, 62), 9), bytes.Repeat([]byte{0xFF}, 63)},
+		{append(make([]byte, 63), 9), bytes.Repeat([]byte{0xFF}, 64)},
+		{append(make([]byte, 64), 9), bytes.Repeat([]byte{0xFF}, 65)},
+		// Virgin shorter than trace: the ragged-tail comparison path.
+		{bytes.Repeat([]byte{2}, 24), bytes.Repeat([]byte{0xFF}, 5)},
+	}
+	for i, p := range pairs {
+		name := "seed-" + string(rune('a'+i))
+		if err := seedcorpus.WriteFile(dir, name, p.trace, p.virgin); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package selffuzz turns the fuzzer on itself: adversarial `go test -fuzz`
+// targets that attack the coverage maps, codecs and campaign state machinery
+// the way a hostile workload would, instead of the way the unit tests expect.
+// Every target is differential or model-checked — two implementations (or an
+// implementation and a reference model) must agree bit for bit — and every
+// target ships a seed corpus under testdata/fuzz/ so plain `go test` replays
+// the known-hard inputs as regression tests.
+//
+// The map-attacking targets are driven by a compact op-codec (this file): a
+// fuzz input is a byte string decoded into a sequence of map operations
+// (add, batch-add, collision bursts, execution-boundary flushes, snapshot and
+// restore). The codec is total — every byte string decodes to a valid op
+// sequence — so the fuzzing engine never wastes executions on parse failures,
+// and it is compact (1 opcode byte + fixed-width operands) so minimized
+// counterexamples stay human-readable.
+package selffuzz
+
+import "encoding/binary"
+
+// Op codes. Decode folds arbitrary bytes onto this set modulo NumOps, so any
+// input is a valid program.
+const (
+	// OpAdd records one coverage key (2-byte little-endian operand, masked
+	// into the map's key space).
+	OpAdd byte = iota
+	// OpAddBatch records a run of keys through AddBatch (1-byte count, then
+	// 2 bytes per key).
+	OpAddBatch
+	// OpFlushMerged ends an execution: ClassifyAndCompare against the virgin
+	// map (the §IV-E merged traversal), invariant checks, then Reset.
+	OpFlushMerged
+	// OpFlushSplit ends an execution via the split Classify-then-CompareWith
+	// path. Mixing the two flush flavours inside one op sequence is itself a
+	// differential check: merged and split traversals must yield identical
+	// verdicts and virgin state.
+	OpFlushSplit
+	// OpColliding injects an adversarial collision burst from
+	// collision.Colliding (operands: count, distinct, seed — 1 byte each).
+	OpColliding
+	// OpSnapshot captures the virgin maps and the BigMap slot assignment.
+	OpSnapshot
+	// OpRestore rebuilds fresh maps from the last snapshot (mid-campaign
+	// checkpoint/resume at the map layer). Without a prior OpSnapshot it
+	// restores the pristine initial state.
+	OpRestore
+	// NumOps is the opcode modulus.
+	NumOps
+)
+
+// Op is one decoded operation.
+type Op struct {
+	Code byte
+	// Key is OpAdd's operand.
+	Key uint16
+	// Keys are OpAddBatch's operands.
+	Keys []uint16
+	// N, Distinct, Seed are OpColliding's operands.
+	N, Distinct, Seed byte
+}
+
+// DecodeOps decodes a byte string into an op sequence. The codec is total:
+// opcodes wrap modulo NumOps and truncated operands read as zero, so every
+// input — including every mutation the fuzzing engine produces — is a valid
+// program. maxOps bounds the decoded length (0 means no bound) so hostile
+// inputs cannot turn one fuzz execution into millions of map operations.
+func DecodeOps(data []byte, maxOps int) []Op {
+	var ops []Op
+	for len(data) > 0 && (maxOps <= 0 || len(ops) < maxOps) {
+		code := data[0] % NumOps
+		data = data[1:]
+		op := Op{Code: code}
+		switch code {
+		case OpAdd:
+			op.Key = readU16(&data)
+		case OpAddBatch:
+			n := int(readU8(&data))
+			op.Keys = make([]uint16, 0, n)
+			for i := 0; i < n; i++ {
+				op.Keys = append(op.Keys, readU16(&data))
+			}
+		case OpColliding:
+			op.N = readU8(&data)
+			op.Distinct = readU8(&data)
+			op.Seed = readU8(&data)
+		}
+		ops = append(ops, op)
+	}
+	return ops
+}
+
+// EncodeOps is DecodeOps' inverse on canonical sequences: it produces the
+// byte string that decodes back to exactly ops. Used to build seed corpus
+// entries from readable op lists (and by the codec round-trip fuzz target).
+// Operand invariants of the canonical form: opcodes < NumOps, and batch
+// lengths fit a byte (longer batches are truncated).
+func EncodeOps(ops []Op) []byte {
+	var out []byte
+	for _, op := range ops {
+		out = append(out, op.Code%NumOps)
+		switch op.Code % NumOps {
+		case OpAdd:
+			out = binary.LittleEndian.AppendUint16(out, op.Key)
+		case OpAddBatch:
+			keys := op.Keys
+			if len(keys) > 255 {
+				keys = keys[:255]
+			}
+			out = append(out, byte(len(keys)))
+			for _, k := range keys {
+				out = binary.LittleEndian.AppendUint16(out, k)
+			}
+		case OpColliding:
+			out = append(out, op.N, op.Distinct, op.Seed)
+		}
+	}
+	return out
+}
+
+// readU8 consumes one byte, reading zero past the end.
+func readU8(data *[]byte) byte {
+	if len(*data) == 0 {
+		return 0
+	}
+	b := (*data)[0]
+	*data = (*data)[1:]
+	return b
+}
+
+// readU16 consumes a little-endian uint16, zero-filling a truncated tail.
+func readU16(data *[]byte) uint16 {
+	d := *data
+	switch len(d) {
+	case 0:
+		return 0
+	case 1:
+		*data = nil
+		return uint16(d[0])
+	default:
+		*data = d[2:]
+		return binary.LittleEndian.Uint16(d)
+	}
+}

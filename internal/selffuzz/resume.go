@@ -1,0 +1,204 @@
+package selffuzz
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"github.com/bigmap/bigmap/internal/checkpoint"
+	"github.com/bigmap/bigmap/internal/core"
+	"github.com/bigmap/bigmap/internal/fuzzer"
+	"github.com/bigmap/bigmap/internal/rng"
+	"github.com/bigmap/bigmap/internal/target"
+)
+
+// fuzzProg is the shared adversarial target program: small enough that a few
+// fuzzer steps are cheap, rich enough (crashes, hangs, loops, magic bytes)
+// that op sequences reach interesting campaign states. Generated once;
+// target.Generate is deterministic in the spec.
+var (
+	fuzzProgOnce sync.Once
+	fuzzProgVal  *target.Program
+	fuzzProgErr  error
+)
+
+func fuzzProg() (*target.Program, error) {
+	fuzzProgOnce.Do(func() {
+		fuzzProgVal, fuzzProgErr = target.Generate(target.GenSpec{
+			Name: "selffuzz", Seed: 99, NumFuncs: 3, BlocksPerFunc: 8,
+			InputLen: 24, BranchFraction: 0.6,
+			MagicCompares: 1, MagicWidth: 2, BonusBlocks: 2,
+			Switches: 1, SwitchFanout: 3,
+			Loops: 1, LoopMax: 6,
+			CrashSites: 2, CrashDepth: 1,
+			HangSites: 1,
+		})
+	})
+	return fuzzProgVal, fuzzProgErr
+}
+
+// faultProfile expands a packed fault selector into a FaultProfile. Each
+// nibble of bits drives one fault class, so the fuzzing engine can switch
+// classes on and off independently while mutating one integer.
+func faultProfile(seed, bits uint64) *target.FaultProfile {
+	if bits == 0 {
+		return nil
+	}
+	return &target.FaultProfile{
+		Seed:              seed,
+		FlakyEdgeFraction: int(bits>>0&0xF) * 40,  // 0-600 per mille
+		DropRate:          int(bits>>4&0xF) * 40,  // 0-600 per mille
+		SpuriousCrashRate: int(bits>>8&0xF) * 10,  // 0-150 per mille
+		SpuriousHangRate:  int(bits>>12&0xF) * 10, // 0-150 per mille
+		CycleJitterPct:    int(bits >> 16 & 0x1F), // 0-31 %
+	}
+}
+
+// RunResumeDifferential is the snapshot/resume-under-faults check: one
+// campaign runs cut+extra steps uninterrupted; a second runs cut steps, is
+// checkpointed through the full binary codec, resumed, and runs the remaining
+// extra steps. Their final encoded snapshots must be bitwise identical even
+// with fault injection live — the durability claim of DESIGN §9, fuzzed over
+// (seed, fault profile, cut point) instead of pinned to four hand-written
+// configs.
+func RunResumeDifferential(seed, faultBits, cut, extra uint64) error {
+	prog, err := fuzzProg()
+	if err != nil {
+		return err
+	}
+	cut %= 6
+	extra %= 6
+	cfg := fuzzer.Config{
+		Scheme:      fuzzer.SchemeBigMap,
+		MapSize:     core.MapSize64K,
+		Seed:        seed,
+		HavocRounds: 16,
+		Faults:      faultProfile(seed, faultBits),
+	}
+	if faultBits != 0 {
+		cfg.CalibrationRuns = int(2 + faultBits%3)
+	}
+
+	seedInputs := prog.SampleSeeds(rng.New(seed^0xc0ffee), 2)
+	start := func() (*fuzzer.Fuzzer, error) {
+		f, err := fuzzer.New(prog, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range seedInputs {
+			if err := f.AddSeed(s); err != nil {
+				return nil, err
+			}
+		}
+		return f, nil
+	}
+	step := func(f *fuzzer.Fuzzer, n uint64) error {
+		for i := uint64(0); i < n; i++ {
+			if err := f.Step(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Uninterrupted reference.
+	ref, err := start()
+	if err != nil {
+		return err
+	}
+	if err := step(ref, cut+extra); err != nil {
+		return err
+	}
+
+	// Interrupted: run to the cut, checkpoint through the codec, resume.
+	a, err := start()
+	if err != nil {
+		return err
+	}
+	if err := step(a, cut); err != nil {
+		return err
+	}
+	data := checkpoint.EncodeFuzzer(a.Snapshot())
+	st, err := checkpoint.DecodeFuzzer(data)
+	if err != nil {
+		return fmt.Errorf("mid-campaign checkpoint does not decode: %w", err)
+	}
+	b, err := fuzzer.Resume(prog, cfg, st)
+	if err != nil {
+		return fmt.Errorf("resume failed: %w", err)
+	}
+	if err := step(b, extra); err != nil {
+		return err
+	}
+
+	want := checkpoint.EncodeFuzzer(ref.Snapshot())
+	got := checkpoint.EncodeFuzzer(b.Snapshot())
+	if !bytes.Equal(want, got) {
+		return fmt.Errorf("resumed campaign state diverged from uninterrupted run (cut=%d extra=%d faults=%#x): %d vs %d bytes",
+			cut, extra, faultBits, len(want), len(got))
+	}
+	return nil
+}
+
+// RunCampaignDeterminism runs the exact same campaign twice — same scheme,
+// seed, map size and budget — and demands the two final encoded snapshots be
+// bitwise identical. This is the determinism invariant everything else rests
+// on (replayable campaigns, the resume differential, reproducible benches):
+// any map-iteration-order leak, stray global RNG draw, or wall-clock
+// dependence in the campaign loop shows up here as a byte diff.
+//
+// Whole-campaign state across SCHEMES is deliberately not compared: queue
+// culling iterates coverage slots in slot order, and slot identities differ
+// between schemes (raw keys vs dense first-sight assignment), which can
+// shuffle which champion is favored first — a divergence the real
+// AFL-vs-BigMap pair has too (see TestSchemesProduceEquivalentCampaigns).
+// Cross-scheme equality is checked where it is exact: per-operation, in
+// RunSchemeDifferential.
+func RunCampaignDeterminism(seed, steps, sizeSel uint64) error {
+	prog, err := fuzzProg()
+	if err != nil {
+		return err
+	}
+	steps = steps%8 + 1
+	sizes := []int{1 << 12, 1 << 14, core.MapSize64K, core.MapSize256K}
+	mapSize := sizes[sizeSel%uint64(len(sizes))]
+	scheme := fuzzer.SchemeAFL
+	if sizeSel>>2&1 == 1 {
+		scheme = fuzzer.SchemeBigMap
+	}
+
+	run := func() ([]byte, error) {
+		f, err := fuzzer.New(prog, fuzzer.Config{
+			Scheme: scheme, MapSize: mapSize, Seed: seed, HavocRounds: 16,
+			Faults: faultProfile(seed, sizeSel>>3),
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range prog.SampleSeeds(rng.New(seed^0x5eed), 2) {
+			if err := f.AddSeed(s); err != nil {
+				return nil, err
+			}
+		}
+		for i := uint64(0); i < steps; i++ {
+			if err := f.Step(); err != nil {
+				return nil, err
+			}
+		}
+		return checkpoint.EncodeFuzzer(f.Snapshot()), nil
+	}
+
+	a, err := run()
+	if err != nil {
+		return err
+	}
+	b, err := run()
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("identical campaigns diverged (scheme=%s size=%d steps=%d seed=%d): %d vs %d bytes",
+			scheme, mapSize, steps, seed, len(a), len(b))
+	}
+	return nil
+}

@@ -1,0 +1,146 @@
+package selffuzz
+
+import (
+	"fmt"
+
+	"github.com/bigmap/bigmap/internal/collision"
+	"github.com/bigmap/bigmap/internal/core"
+)
+
+// satModel is the reference model for a slot-capped BigMap: an ordered
+// first-sight key list, per-key saturating hit counters, and an explicit
+// dropped-occurrence counter. It is deliberately the dumbest possible
+// implementation of the documented contract.
+type satModel struct {
+	cap     int
+	order   []uint32
+	slot    map[uint32]int
+	counts  []uint16 // per assigned slot, saturating at 255
+	dropped uint64
+}
+
+func newSatModel(slotCap int) *satModel {
+	return &satModel{cap: slotCap, slot: map[uint32]int{}}
+}
+
+func (m *satModel) add(key uint32) {
+	s, ok := m.slot[key]
+	if !ok {
+		if len(m.order) == m.cap {
+			m.dropped++
+			return
+		}
+		s = len(m.order)
+		m.slot[key] = s
+		m.order = append(m.order, key)
+		m.counts = append(m.counts, 0)
+	}
+	if m.counts[s] < 255 {
+		m.counts[s]++
+	}
+}
+
+func (m *satModel) nonZero() int {
+	n := 0
+	for _, c := range m.counts {
+		if c > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (m *satModel) reset() {
+	for i := range m.counts {
+		m.counts[i] = 0
+	}
+}
+
+// RunSaturationModel drives a slot-capped BigMap to (and far past) the
+// MapSaturated/DroppedKeys boundary with an adversarial key sequence and
+// checks it slot-for-slot against the reference model: first-sight assignment
+// order, saturating counters, the exact drop count (per occurrence, not per
+// key), the Saturated() flip at used==cap, and the key<->slot bijection.
+func RunSaturationModel(size, slotCap int, ops []Op) error {
+	bm, err := core.NewBigMapSlots(size, slotCap)
+	if err != nil {
+		return err
+	}
+	// NewBigMapSlots clamps out-of-range caps to the full size; mirror it.
+	model := newSatModel(bm.SlotCap())
+
+	addAll := func(keys []uint32) {
+		bm.AddBatch(keys)
+		for _, k := range keys {
+			model.add(k)
+		}
+	}
+	check := func() error {
+		if got, want := bm.UsedKeys(), len(model.order); got != want {
+			return fmt.Errorf("used_key=%d, model=%d", got, want)
+		}
+		if got, want := bm.DroppedKeys(), model.dropped; got != want {
+			return fmt.Errorf("dropped=%d, model=%d", got, want)
+		}
+		if got, want := bm.Saturated(), len(model.order) == model.cap; got != want {
+			return fmt.Errorf("saturated=%t, model=%t (used=%d cap=%d)",
+				got, want, bm.UsedKeys(), model.cap)
+		}
+		if got, want := bm.CountNonZero(), model.nonZero(); got != want {
+			return fmt.Errorf("nonzero=%d, model=%d", got, want)
+		}
+		// Bijection: every model key sits in its first-sight slot, and the
+		// reverse mapping agrees.
+		for s, key := range model.order {
+			if got := bm.SlotForKey(key); got != s {
+				return fmt.Errorf("key %d in slot %d, model says %d", key, got, s)
+			}
+			k, ok := bm.KeyForSlot(s)
+			if !ok || k != key {
+				return fmt.Errorf("slot %d maps to key %d (ok=%t), model says %d", s, k, ok, key)
+			}
+		}
+		// Saturating counters over the trace snapshot.
+		trace := bm.Snapshot()
+		for s, c := range model.counts {
+			want := byte(c)
+			if c > 255 {
+				want = 255
+			}
+			if trace[s] != want {
+				return fmt.Errorf("slot %d count %d, model %d", s, trace[s], want)
+			}
+		}
+		return nil
+	}
+
+	for i, op := range ops {
+		switch op.Code {
+		case OpAdd:
+			k := uint32(op.Key) & uint32(size-1)
+			bm.Add(k)
+			model.add(k)
+		case OpAddBatch:
+			keys := make([]uint32, len(op.Keys))
+			for j, k := range op.Keys {
+				keys[j] = uint32(k) & uint32(size-1)
+			}
+			addAll(keys)
+		case OpColliding:
+			addAll(collision.Colliding(size, int(op.N), int(op.Distinct), uint64(op.Seed)))
+		case OpFlushMerged, OpFlushSplit:
+			if err := check(); err != nil {
+				return fmt.Errorf("op %d: %w", i, err)
+			}
+			bm.Classify()
+			bm.Reset()
+			model.reset()
+		case OpSnapshot, OpRestore:
+			// Slot assignments survive Reset by design; a reset here is the
+			// closest map-level analogue and keeps the op set total.
+			bm.Reset()
+			model.reset()
+		}
+	}
+	return check()
+}

@@ -1,0 +1,63 @@
+// Package seedcorpus writes Go native-fuzzing corpus files (the "go test
+// fuzz v1" format that `go test` replays from testdata/fuzz/<FuzzTarget>/).
+// The repo checks in seed corpora of known-hard inputs for every fuzz target;
+// each owning package has an env-gated regeneration test that rebuilds its
+// corpus through this writer, so the files stay reproducible instead of being
+// opaque blobs.
+package seedcorpus
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// header is the corpus file format marker the testing package expects.
+const header = "go test fuzz v1\n"
+
+// Entry encodes one corpus entry: the format header followed by one Go-syntax
+// value line per fuzz argument, in declaration order. Supported argument
+// types are the ones the repo's fuzz targets use: []byte, string, and the
+// fixed-width/platform integers. Types must match the fuzz function's
+// signature exactly or `go test` will reject the file.
+func Entry(args ...any) ([]byte, error) {
+	var b bytes.Buffer
+	b.WriteString(header)
+	for i, arg := range args {
+		switch v := arg.(type) {
+		case []byte:
+			fmt.Fprintf(&b, "[]byte(%s)\n", strconv.Quote(string(v)))
+		case string:
+			fmt.Fprintf(&b, "string(%s)\n", strconv.Quote(v))
+		case int:
+			fmt.Fprintf(&b, "int(%d)\n", v)
+		case int64:
+			fmt.Fprintf(&b, "int64(%d)\n", v)
+		case uint32:
+			fmt.Fprintf(&b, "uint32(%d)\n", v)
+		case uint64:
+			fmt.Fprintf(&b, "uint64(%d)\n", v)
+		case bool:
+			fmt.Fprintf(&b, "bool(%t)\n", v)
+		default:
+			return nil, fmt.Errorf("seedcorpus: unsupported argument %d type %T", i, arg)
+		}
+	}
+	return b.Bytes(), nil
+}
+
+// WriteFile writes one corpus entry to dir/name, creating dir as needed.
+// Conventionally dir is testdata/fuzz/<FuzzTargetName> inside the package
+// that declares the target.
+func WriteFile(dir, name string, args ...any) error {
+	data, err := Entry(args...)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, name), data, 0o644)
+}

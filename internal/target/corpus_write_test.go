@@ -1,0 +1,53 @@
+package target_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/bigmap/bigmap/internal/rng"
+	"github.com/bigmap/bigmap/internal/selffuzz/seedcorpus"
+	"github.com/bigmap/bigmap/internal/target"
+)
+
+// TestWriteInterpCorpus regenerates testdata/fuzz/FuzzInterp from the same
+// program spec the fuzz target uses, so `go test` replays the interpreter's
+// known-hard inputs (magic-byte hits, deep seeds, degenerate shapes) without
+// -fuzz. Gated behind BIGMAP_WRITE_CORPUS=1; see internal/selffuzz for the
+// regeneration workflow.
+func TestWriteInterpCorpus(t *testing.T) {
+	if os.Getenv("BIGMAP_WRITE_CORPUS") != "1" {
+		t.Skip("set BIGMAP_WRITE_CORPUS=1 to regenerate testdata/fuzz corpora")
+	}
+	prog, err := target.Generate(target.GenSpec{
+		Name: "fuzz", Seed: 1234, NumFuncs: 4, BlocksPerFunc: 10,
+		InputLen: 32, BranchFraction: 0.6,
+		MagicCompares: 2, MagicWidth: 4, BonusBlocks: 4,
+		GatedCallFraction: 0.5,
+		Switches:          2, SwitchFanout: 4,
+		Loops: 2, LoopMax: 8,
+		CrashSites: 2, CrashDepth: 1,
+		HangSites: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzInterp")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	entries := [][]byte{
+		{},
+		make([]byte, 32),
+		bytes.Repeat([]byte{0xff}, 64),
+		{0x00, 0xff, 0x00, 0xff, 0x80, 0x7f},
+	}
+	entries = append(entries, prog.SampleSeeds(rng.New(7), 4)...)
+	for i, in := range entries {
+		name := "seed-" + string(rune('a'+i))
+		if err := seedcorpus.WriteFile(dir, name, in); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

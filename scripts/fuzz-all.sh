@@ -1,0 +1,28 @@
+#!/bin/sh
+# Run every native fuzz target, one short -fuzz session each. Go allows only
+# one -fuzz pattern per invocation, so this discovers the targets
+# (go test -list) and loops. FUZZTIME controls the per-target budget.
+# With package arguments, only those packages are scanned (CI shards on this).
+#
+#   FUZZTIME=20s ./scripts/fuzz-all.sh [./internal/selffuzz ...]
+set -eu
+
+FUZZTIME="${FUZZTIME:-30s}"
+failed=0
+
+pkgs="$*"
+[ -z "$pkgs" ] && pkgs=$(go list ./...)
+
+for pkg in $pkgs; do
+    targets=$(go test -list '^Fuzz' "$pkg" 2>/dev/null | grep '^Fuzz' || true)
+    [ -z "$targets" ] && continue
+    for t in $targets; do
+        echo "=== fuzz $pkg $t (${FUZZTIME})"
+        if ! go test -run '^$' -fuzz "^${t}\$" -fuzztime "$FUZZTIME" "$pkg"; then
+            echo "FAIL: $pkg $t" >&2
+            failed=1
+        fi
+    done
+done
+
+exit "$failed"
