@@ -1,7 +1,7 @@
 # Development targets; CI (.github/workflows/ci.yml) runs `make check`'s
 # steps verbatim.
 
-.PHONY: check build test vet race dbg notel fuzz fuzz-checkpoint fuzz-selffuzz fuzz-all bench bench-smoke bench-all results
+.PHONY: check build test vet race dbg notel fuzz fuzz-checkpoint fuzz-selffuzz fuzz-all bench bench3 benchcmp bench-smoke bench-all results
 
 check: vet build test race dbg notel
 
@@ -69,6 +69,21 @@ bench:
 	go test -run '^$$' -bench $(BENCH_FILTER) -benchmem -benchtime=$(BENCH_TIME) $(BENCH_PKGS) | tee bench.out
 	go run ./cmd/bigmap-bench benchjson -o BENCH_2.json < bench.out
 	@rm -f bench.out
+
+# Same sweep emitted as BENCH_3.json — the selective-tracing/batched-exec
+# generation. The filter already matches BenchmarkExecLoopSelective/Batched,
+# so the new fast paths land in the artifact alongside the shared baselines;
+# `make benchcmp` then gates the shared names against BENCH_2.json.
+bench3:
+	go test -run '^$$' -bench $(BENCH_FILTER) -benchmem -benchtime=$(BENCH_TIME) $(BENCH_PKGS) | tee bench.out
+	go run ./cmd/bigmap-bench benchjson -o BENCH_3.json < bench.out
+	@rm -f bench.out
+
+# No-regression gate over the checked-in artifacts: every benchmark BENCH_2
+# and BENCH_3 share must be within tolerance. Both files were generated on
+# the same machine, so the ratio is meaningful where raw CI timings are not.
+benchcmp:
+	go run ./cmd/bigmap-bench benchcmp BENCH_2.json BENCH_3.json
 
 # CI smoke: same sweep at -benchtime=10x, report discarded after parsing —
 # proves every benchmark still runs and the JSON pipeline still parses.

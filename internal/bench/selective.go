@@ -1,0 +1,78 @@
+package bench
+
+import (
+	"github.com/bigmap/bigmap/internal/fuzzer"
+	"github.com/bigmap/bigmap/internal/target"
+)
+
+// Selective compares the always-traced baseline against selective tracing and
+// batched execution at equal exec budgets. The table is a coverage-preserving
+// claim, not a throughput one: every mode must report identical edges, paths
+// and crashes (the fast paths change how verdicts are computed, never what
+// they are — pinned bitwise by FuzzSelectiveEquivalence), while the skipped /
+// full-pass columns show how much classify-and-compare work the prefilter
+// avoided. Wall-clock effects live in BENCH_3.json (BenchmarkExecLoop*),
+// keeping this experiment byte-reproducible for `make results`.
+func Selective(opts Options) (*Table, error) {
+	opts = opts.withDefaults()
+	names := opts.Benchmarks
+	if len(names) == 0 {
+		names = []string{"libpng"}
+	}
+	profiles, err := selectProfiles(target.Profiles(), names)
+	if err != nil {
+		return nil, err
+	}
+
+	modes := []struct {
+		name      string
+		selective bool
+		batch     int
+	}{
+		{"traced", false, 0},
+		{"selective", true, 0},
+		{"batched", false, 8},
+		{"selective+batched", true, 8},
+	}
+
+	t := &Table{
+		Title: "Selective tracing and batched execution on BigMap @ 2MB",
+		Notes: []string{
+			"equal exec budgets; identical edges/paths/crashes prove the fast paths preserve coverage",
+			"skipped = executions the prefilter spared a classify pass; full = prefilter hits re-classified",
+		},
+		Header: []string{"benchmark", "mode", "edges", "paths", "crashes", "skipped", "full"},
+	}
+
+	for _, p := range profiles {
+		b, err := prepare(p, opts)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range modes {
+			f, err := fuzzer.New(b.prog, fuzzer.Config{
+				Scheme:         fuzzer.SchemeBigMap,
+				MapSize:        2 << 20,
+				Seed:           opts.Seed,
+				ExecCostFactor: b.costFactor,
+				Selective:      m.selective,
+				BatchSize:      m.batch,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if err := addSeeds(f, b.seeds); err != nil {
+				return nil, err
+			}
+			if err := f.RunExecs(opts.ExecsPerRun); err != nil {
+				return nil, err
+			}
+			st := f.Stats()
+			t.AddRow(p.Name, m.name, fmtInt(st.EdgesDiscovered), fmtInt(st.Paths),
+				fmtInt(st.UniqueCrashes), fmtInt(int(st.FilterSkips)), fmtInt(int(st.FilterFulls)))
+			opts.progressf("  selective %-10s %-17s edges=%d skipped=%d\n",
+				p.Name, m.name, st.EdgesDiscovered, st.FilterSkips)
+		}
+	}
+	return t, nil
+}

@@ -214,6 +214,20 @@ func (r *Report) Write(w io.Writer) error {
 	return err
 }
 
+// ReadReport decodes a report and checks its schema tag, so a consumer
+// (the benchcmp regression gate) fails loudly on a stale or foreign file
+// rather than silently comparing nothing.
+func ReadReport(r io.Reader) (*Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("benchjson: %w", err)
+	}
+	if rep.Schema != Schema {
+		return nil, fmt.Errorf("benchjson: schema %q, want %q", rep.Schema, Schema)
+	}
+	return &rep, nil
+}
+
 // Find returns the first record whose name matches exactly, or nil.
 func (r *Report) Find(name string) *Record {
 	for i := range r.Records {

@@ -1,0 +1,66 @@
+package benchjson
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Delta is one benchmark present in both reports under comparison.
+type Delta struct {
+	Name    string
+	OldNs   float64
+	NewNs   float64
+	// Ratio is NewNs/OldNs: 1.0 unchanged, <1 faster, >1 slower.
+	Ratio float64
+	// Regressed marks ratios beyond the comparison's tolerance.
+	Regressed bool
+}
+
+// Compare matches records by full benchmark name across two reports and
+// flags regressions: a shared benchmark whose new ns/op exceeds the old by
+// more than tolerance (0.25 = +25%). Only shared names participate — a
+// baseline generated before a benchmark existed cannot gate it — and the
+// caller decides whether an empty intersection is an error. Results are
+// sorted by name for stable output. Both reports should come from the same
+// machine: cross-host ns/op comparisons are noise, which is why the repo
+// checks in BENCH_*.json artifacts generated together and CI diffs those
+// rather than re-timing on shared runners.
+func Compare(old, new *Report, tolerance float64) []Delta {
+	base := make(map[string]float64, len(old.Records))
+	for _, r := range old.Records {
+		base[r.Name] = r.NsPerOp
+	}
+	var deltas []Delta
+	for _, r := range new.Records {
+		oldNs, ok := base[r.Name]
+		if !ok || oldNs <= 0 {
+			continue
+		}
+		ratio := r.NsPerOp / oldNs
+		deltas = append(deltas, Delta{
+			Name:      r.Name,
+			OldNs:     oldNs,
+			NewNs:     r.NsPerOp,
+			Ratio:     ratio,
+			Regressed: ratio > 1+tolerance,
+		})
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	return deltas
+}
+
+// Regressions filters a comparison down to the failing entries.
+func Regressions(deltas []Delta) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// FormatDelta renders one comparison line, benchcmp-style.
+func FormatDelta(d Delta) string {
+	return fmt.Sprintf("%-60s %12.1f %12.1f %+7.1f%%", d.Name, d.OldNs, d.NewNs, (d.Ratio-1)*100)
+}

@@ -1,0 +1,66 @@
+package benchjson
+
+import (
+	"strings"
+	"testing"
+)
+
+func report(pairs ...any) *Report {
+	r := &Report{Schema: Schema}
+	for i := 0; i < len(pairs); i += 2 {
+		r.Records = append(r.Records, Record{
+			Name:    pairs[i].(string),
+			NsPerOp: pairs[i+1].(float64),
+		})
+	}
+	return r
+}
+
+func TestCompare(t *testing.T) {
+	old := report(
+		"BenchmarkExecLoop/bigmap/64k", 2500.0,
+		"BenchmarkExecLoop/afl/8M", 2400000.0,
+		"BenchmarkGone", 10.0,
+	)
+	new := report(
+		"BenchmarkExecLoop/bigmap/64k", 2000.0, // improved
+		"BenchmarkExecLoop/afl/8M", 3400000.0, // +41%: regressed
+		"BenchmarkExecLoopSelective/bigmap/64k", 1900.0, // new: ignored
+	)
+	deltas := Compare(old, new, 0.30)
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want 2 (shared names only): %+v", len(deltas), deltas)
+	}
+	// Sorted by name: afl/8M first.
+	if !deltas[0].Regressed || deltas[1].Regressed {
+		t.Fatalf("regression flags wrong: %+v", deltas)
+	}
+	regs := Regressions(deltas)
+	if len(regs) != 1 || regs[0].Name != "BenchmarkExecLoop/afl/8M" {
+		t.Fatalf("Regressions = %+v", regs)
+	}
+	if s := FormatDelta(deltas[1]); !strings.Contains(s, "-20.0%") {
+		t.Fatalf("FormatDelta = %q, want -20.0%% improvement", s)
+	}
+}
+
+func TestCompareTolerance(t *testing.T) {
+	old := report("BenchmarkX", 100.0)
+	// +25% passes at 0.30, fails at 0.20.
+	new := report("BenchmarkX", 125.0)
+	if regs := Regressions(Compare(old, new, 0.30)); len(regs) != 0 {
+		t.Fatalf("+25%% regressed at tolerance 0.30: %+v", regs)
+	}
+	if regs := Regressions(Compare(old, new, 0.20)); len(regs) != 1 {
+		t.Fatal("+25% not flagged at tolerance 0.20")
+	}
+}
+
+func TestReadReportRejectsForeignSchema(t *testing.T) {
+	if _, err := ReadReport(strings.NewReader(`{"schema":"other/v9"}`)); err == nil {
+		t.Fatal("foreign schema accepted")
+	}
+	if _, err := ReadReport(strings.NewReader(`{"schema":"` + Schema + `","records":[]}`)); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -10,8 +10,10 @@ import (
 // File framing: magic | version | kind | payloadLen (uint64 LE) | payload |
 // CRC32-IEEE (uint32 LE, over everything before it).
 const (
-	// Version is the current checkpoint format version.
-	Version = 1
+	// Version is the current checkpoint format version. v2 appended the
+	// selective-tracing counters (FilterSkips/FilterFulls) to the fuzzer
+	// payload tail; v1 files are rejected rather than misread.
+	Version = 2
 
 	// KindFuzzer frames a single-instance FuzzerState payload.
 	KindFuzzer byte = 1
@@ -322,6 +324,9 @@ func encodeFuzzerPayload(w *writer, st *FuzzerState) {
 	w.u64s(st.OpUsed)
 	w.u64s(st.OpSuccess)
 	w.u64s(st.OpPending)
+	// Format v2: selective-tracing counters, appended at the payload tail.
+	w.u64(st.FilterSkips)
+	w.u64(st.FilterFulls)
 }
 
 func decodeFuzzerPayload(r *reader) FuzzerState {
@@ -373,6 +378,8 @@ func decodeFuzzerPayload(r *reader) FuzzerState {
 	st.OpUsed = r.u64s()
 	st.OpSuccess = r.u64s()
 	st.OpPending = r.u64s()
+	st.FilterSkips = r.u64()
+	st.FilterFulls = r.u64()
 	return st
 }
 

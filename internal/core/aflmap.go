@@ -18,8 +18,9 @@ type AFLMap struct {
 }
 
 var (
-	_ Map          = (*AFLMap)(nil)
-	_ Instrumented = (*AFLMap)(nil)
+	_ Map            = (*AFLMap)(nil)
+	_ Instrumented   = (*AFLMap)(nil)
+	_ CoverageMerger = (*AFLMap)(nil)
 )
 
 // Instrument installs telemetry histograms for the per-testcase operations.
@@ -104,6 +105,16 @@ func (m *AFLMap) ClassifyAndCompare(virgin *Virgin) Verdict {
 	return verdict
 }
 
+// MaybeNew is the read-only selective-tracing prefilter over the full map:
+// true iff ClassifyAndCompare(virgin) would return a non-VerdictNone verdict.
+// Neither the trace nor the virgin map is modified.
+func (m *AFLMap) MaybeNew(virgin *Virgin) bool {
+	t0 := m.tel.MaybeNew.Start()
+	hit := maybeNewRegion(m.bits, virgin.bits)
+	m.tel.MaybeNew.Done(t0)
+	return hit
+}
+
 // Hash digests the full bitmap.
 func (m *AFLMap) Hash() uint64 {
 	t0 := m.tel.Hash.Start()
@@ -126,6 +137,13 @@ func (m *AFLMap) AppendTouched(dst []uint32) []uint32 {
 // NewVirgin allocates a full-size virgin map.
 func (m *AFLMap) NewVirgin() *Virgin {
 	return newVirgin(len(m.bits))
+}
+
+// MergeVirginInto folds an instance virgin map into a campaign-level union.
+// The flat scheme's virgin is already indexed by raw key, so no translation
+// table is needed.
+func (m *AFLMap) MergeVirginInto(u VirginUnion, v *Virgin) {
+	u.MergeVirgin(v, nil)
 }
 
 // Snapshot returns a copy of the raw bitmap, for tests and debugging.

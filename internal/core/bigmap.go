@@ -46,9 +46,10 @@ type BigMap struct {
 }
 
 var (
-	_ Map          = (*BigMap)(nil)
-	_ Saturable    = (*BigMap)(nil)
-	_ Instrumented = (*BigMap)(nil)
+	_ Map            = (*BigMap)(nil)
+	_ Saturable      = (*BigMap)(nil)
+	_ Instrumented   = (*BigMap)(nil)
+	_ CoverageMerger = (*BigMap)(nil)
 )
 
 // NewBigMap creates a two-level coverage map with the given hash-space size,
@@ -229,6 +230,18 @@ func (m *BigMap) ClassifyAndCompare(virgin *Virgin) Verdict {
 	return verdict
 }
 
+// MaybeNew is the read-only selective-tracing prefilter over the touched
+// region: true iff ClassifyAndCompare(virgin) would return a non-VerdictNone
+// verdict. Neither the trace nor the virgin map is modified, so a false
+// result lets the caller skip the classify-store and virgin-update work of
+// the full traversal for this execution.
+func (m *BigMap) MaybeNew(virgin *Virgin) bool {
+	t0 := m.tel.MaybeNew.Start()
+	hit := maybeNewRegion(m.trace(), virgin.bits)
+	m.tel.MaybeNew.Done(t0)
+	return hit
+}
+
 // Hash digests the coverage bitmap up to the last non-zero slot (§IV-D).
 // Hashing a fixed [0..used) prefix would make the digest of a path depend on
 // how many edges other test cases had discovered by the time it ran; clipping
@@ -296,6 +309,13 @@ func (m *BigMap) Saturated() bool { return m.used == len(m.coverage) }
 // means coverage feedback is incomplete and the campaign should be re-run
 // with a larger slot region.
 func (m *BigMap) DroppedKeys() uint64 { return m.dropped }
+
+// MergeVirginInto folds an instance virgin map into a campaign-level union,
+// translating each dense slot to its raw coverage key through the live
+// slot-to-key table (no copy; the union reads it during the call only).
+func (m *BigMap) MergeVirginInto(u VirginUnion, v *Virgin) {
+	u.MergeVirgin(v, m.slotKey[:m.used])
+}
 
 // SlotKeys returns a copy of the dense-slot-to-key assignment table, in slot
 // order. Together with the drop counter this is the map's entire persistent

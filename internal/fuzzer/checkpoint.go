@@ -35,6 +35,8 @@ func (f *Fuzzer) Snapshot() *checkpoint.FuzzerState {
 		CalibExecs:      f.calibExecs,
 		SpuriousCrashes: f.spuriousCrashes,
 		SpuriousHangs:   f.spuriousHangs,
+		FilterSkips:     f.filterSkips,
+		FilterFulls:     f.filterFulls,
 		VirginAll:       f.virginAll.Bits(),
 		VirginCrash:     f.virginCrash.Bits(),
 		VirginHang:      f.virginHang.Bits(),
@@ -226,5 +228,7 @@ func Resume(prog *target.Program, cfg Config, st *checkpoint.FuzzerState) (*Fuzz
 	f.calibExecs = st.CalibExecs
 	f.spuriousCrashes = st.SpuriousCrashes
 	f.spuriousHangs = st.SpuriousHangs
+	f.filterSkips = st.FilterSkips
+	f.filterFulls = st.FilterFulls
 	return f, nil
 }

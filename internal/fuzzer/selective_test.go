@@ -1,0 +1,144 @@
+package fuzzer
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"github.com/bigmap/bigmap/internal/checkpoint"
+	"github.com/bigmap/bigmap/internal/core"
+)
+
+// snapshotBytes encodes the instance's full campaign state with the
+// selective-tracing observability counters zeroed out: the filter changes how
+// verdicts are computed, never what they are, so every other byte of the
+// checkpoint must match the always-traced campaign exactly.
+func snapshotBytes(t *testing.T, f *Fuzzer) []byte {
+	t.Helper()
+	st := f.Snapshot()
+	st.FilterSkips, st.FilterFulls = 0, 0
+	return checkpoint.EncodeFuzzer(st)
+}
+
+// TestSelectiveMatchesTraced is the fuzzer-level soundness pin for selective
+// tracing: identical campaigns with the filter off and on must evolve
+// bitwise-identical state — virgin maps, queue, crash buckets, RNG streams,
+// every counter except the filter's own bookkeeping.
+func TestSelectiveMatchesTraced(t *testing.T) {
+	prog := fuzzTarget(t)
+	for name, base := range map[string]Config{
+		"afl":    {Seed: 21, HavocRounds: 32, SpliceRounds: 8},
+		"bigmap": {Scheme: SchemeBigMap, MapSize: core.MapSize2M, Seed: 22, HavocRounds: 32, SpliceRounds: 8},
+	} {
+		base := base
+		t.Run(name, func(t *testing.T) {
+			run := func(selective bool) *Fuzzer {
+				cfg := base
+				cfg.Selective = selective
+				f, err := New(prog, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				seedCorpus(t, f, prog, 3)
+				stepN(t, f, 6)
+				return f
+			}
+			traced := run(false)
+			selective := run(true)
+
+			if selective.filterSkips == 0 {
+				t.Fatal("filter never skipped: the selective path was not exercised")
+			}
+			if traced.filterSkips != 0 || traced.filterFulls != 0 {
+				t.Fatal("traced campaign moved the filter counters")
+			}
+
+			wantFP, gotFP := takeFingerprint(traced), takeFingerprint(selective)
+			wantFP.Stats.FilterSkips, wantFP.Stats.FilterFulls = 0, 0
+			gotFP.Stats.FilterSkips, gotFP.Stats.FilterFulls = 0, 0
+			if !reflect.DeepEqual(wantFP, gotFP) {
+				t.Fatalf("selective campaign diverged from traced:\n got  %+v\n want %+v", gotFP, wantFP)
+			}
+			if !bytes.Equal(snapshotBytes(t, traced), snapshotBytes(t, selective)) {
+				t.Fatal("selective campaign checkpoint bytes diverged from traced")
+			}
+		})
+	}
+}
+
+// TestBatchedMatchesSequential pins the batched havoc stage: with the same
+// config (adaptive havoc off, no schedule) the batched campaign must replay
+// the sequential one's mutant stream and land on identical state — with and
+// without the selective filter stacked on top.
+func TestBatchedMatchesSequential(t *testing.T) {
+	prog := fuzzTarget(t)
+	for name, base := range map[string]Config{
+		"afl":    {Seed: 31, HavocRounds: 32, SpliceRounds: 8},
+		"bigmap": {Scheme: SchemeBigMap, MapSize: core.MapSize2M, Seed: 32, HavocRounds: 32, SpliceRounds: 8},
+	} {
+		base := base
+		t.Run(name, func(t *testing.T) {
+			run := func(batch int, selective bool) *Fuzzer {
+				cfg := base
+				cfg.BatchSize = batch
+				cfg.Selective = selective
+				f, err := New(prog, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				seedCorpus(t, f, prog, 3)
+				stepN(t, f, 6)
+				return f
+			}
+			sequential := run(0, false)
+			want := snapshotBytes(t, sequential)
+			for _, tc := range []struct {
+				label     string
+				batch     int
+				selective bool
+			}{
+				{"batch8", 8, false},
+				{"batch5-odd-tail", 5, false},
+				{"batch8-selective", 8, true},
+			} {
+				got := run(tc.batch, tc.selective)
+				if !bytes.Equal(want, snapshotBytes(t, got)) {
+					t.Fatalf("%s: batched campaign checkpoint bytes diverged from sequential", tc.label)
+				}
+				if tc.selective && got.filterSkips == 0 {
+					t.Fatalf("%s: filter never skipped", tc.label)
+				}
+			}
+		})
+	}
+}
+
+// TestSelectiveConfigValidation pins the soundness preconditions: every
+// combination that would silently change campaign semantics is a hard
+// configuration error, not a degraded mode.
+func TestSelectiveConfigValidation(t *testing.T) {
+	prog := fuzzTarget(t)
+	for name, cfg := range map[string]Config{
+		"selective+schedule":    {Selective: true, Schedule: ScheduleFast},
+		"selective+calibration": {Selective: true, CalibrationRuns: 2},
+		"batch+adaptive":        {BatchSize: 4, AdaptiveHavoc: true},
+		"batch+schedule":        {BatchSize: 4, Schedule: ScheduleFast},
+		"batch+calibration":     {BatchSize: 4, CalibrationRuns: 2},
+		"batch+timings":         {BatchSize: 4, TrackTimings: true},
+		"batch+split":           {BatchSize: 4, SplitClassifyCompare: true},
+		"negative-batch":        {BatchSize: -1},
+	} {
+		if _, err := New(prog, cfg); err == nil {
+			t.Errorf("%s: config accepted, want error", name)
+		}
+	}
+	for name, cfg := range map[string]Config{
+		"selective+batch":   {Selective: true, BatchSize: 8},
+		"selective+exploit": {Selective: true, Schedule: ScheduleExploit},
+		"batch-of-one":      {BatchSize: 1, AdaptiveHavoc: true},
+	} {
+		if _, err := New(prog, cfg); err != nil {
+			t.Errorf("%s: %v, want accepted", name, err)
+		}
+	}
+}

@@ -21,8 +21,12 @@ type telemetryHooks struct {
 	imports    *telemetry.Counter
 	calibExecs *telemetry.Counter
 
+	filterSkips  *telemetry.Counter
+	filterReruns *telemetry.Counter
+
 	queuePaths *telemetry.Gauge
 	edges      *telemetry.Gauge
+	skipRatio  *telemetry.Gauge
 
 	execNs         *telemetry.Histogram
 	stageDet       *telemetry.Histogram
@@ -51,8 +55,12 @@ func newTelemetryHooks(r *telemetry.Registry, cov core.Map) telemetryHooks {
 		imports:    r.Counter("fuzzer_imports_total"),
 		calibExecs: r.Counter("fuzzer_calib_execs_total"),
 
+		filterSkips:  r.Counter("fuzzer_filter_skips_total"),
+		filterReruns: r.Counter("fuzzer_filter_reruns_total"),
+
 		queuePaths: r.Gauge("fuzzer_queue_paths"),
 		edges:      r.Gauge("fuzzer_edges_discovered"),
+		skipRatio:  r.Gauge("fuzzer_filter_skip_permille"),
 
 		execNs:         r.Histogram("fuzzer_exec_ns"),
 		stageDet:       r.Histogram("fuzzer_stage_det_ns"),
@@ -70,4 +78,33 @@ func (f *Fuzzer) noteEnqueue() {
 	f.tel.pathsFound.Inc()
 	f.tel.queuePaths.Set(int64(f.queue.Len()))
 	f.tel.edges.Set(int64(f.virginAll.CountDiscovered()))
+}
+
+// noteFilterSkip records a selective-tracing skip: the MaybeNew prefilter
+// proved the execution could not change the virgin map, so the full
+// classify-and-compare traversal never ran.
+func (f *Fuzzer) noteFilterSkip() {
+	f.filterSkips++
+	f.tel.filterSkips.Inc()
+	f.noteSkipRatio()
+}
+
+// noteFilterFull records a filter miss: the prefilter reported possibly-new
+// coverage and the full traversal re-ran over the already-recorded trace.
+func (f *Fuzzer) noteFilterFull() {
+	f.filterFulls++
+	f.tel.filterReruns.Inc()
+	f.noteSkipRatio()
+}
+
+// noteSkipRatio refreshes the skip-ratio gauge (permille of filtered
+// executions the prefilter skipped). Counters are per-instance but the gauge
+// is shared in parallel campaigns; last writer wins, which is fine for a
+// liveness indicator.
+func (f *Fuzzer) noteSkipRatio() {
+	if f.tel.skipRatio == nil {
+		return
+	}
+	total := f.filterSkips + f.filterFulls
+	f.tel.skipRatio.Set(int64(f.filterSkips * 1000 / total))
 }

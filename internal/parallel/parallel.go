@@ -30,6 +30,7 @@ import (
 	"time"
 
 	"github.com/bigmap/bigmap/internal/checkpoint"
+	"github.com/bigmap/bigmap/internal/core"
 	"github.com/bigmap/bigmap/internal/crash"
 	"github.com/bigmap/bigmap/internal/fuzzer"
 	"github.com/bigmap/bigmap/internal/target"
@@ -62,6 +63,15 @@ type Config struct {
 	// doubles on every subsequent revival of the same instance. 0 means
 	// 10ms.
 	RestartBackoff time.Duration
+	// VirginShards configures the campaign-level virgin union — the
+	// cross-instance coverage view merged at round boundaries. 0 disables
+	// it (Report.UnionEdges stays 0); 1 uses the single-lock reference
+	// implementation; >= 2 uses the sharded lock-free union, letting every
+	// instance goroutine fold its virgin map in concurrently at the end of
+	// its round slice instead of serializing on one mutex. Both
+	// implementations produce identical union state (AND-merges commute),
+	// pinned by TestVirginUnionEquivalence and the campaign-level test.
+	VirginShards int
 }
 
 // Campaign is a running multi-instance fuzzing session.
@@ -95,6 +105,13 @@ type Campaign struct {
 	// it through their own configs); the campaign adds round/revival
 	// bookkeeping and event-log entries. nil when telemetry is off.
 	tel *telemetry.Registry
+
+	// union is the campaign-level virgin union (Config.VirginShards);
+	// nil when disabled. Instance goroutines merge into it concurrently at
+	// the end of their round slice — the union's own synchronization
+	// (sharded atomics or the reference lock) is the only coordination.
+	union    core.VirginUnion
+	telUnion *telemetry.Gauge
 }
 
 // progressState is the campaign's live telemetry. Instance goroutines write
@@ -202,6 +219,32 @@ func (c *Campaign) instanceCfg(i int) fuzzer.Config {
 	return fcfg
 }
 
+// newUnion builds the campaign virgin union for the configured shard count,
+// sized to the fuzzer template's (defaulted) map size. Returns nil when the
+// union is disabled or the size is invalid (fuzzer construction will surface
+// the size error with proper context).
+func newUnion(cfg Config) core.VirginUnion {
+	if cfg.VirginShards <= 0 {
+		return nil
+	}
+	size := cfg.Fuzzer.MapSize
+	if size == 0 {
+		size = core.MapSize64K
+	}
+	if cfg.VirginShards == 1 {
+		u, err := core.NewLockedVirginUnion(size)
+		if err != nil {
+			return nil
+		}
+		return u
+	}
+	u, err := core.NewAtomicVirginUnion(size, cfg.VirginShards)
+	if err != nil {
+		return nil
+	}
+	return u
+}
+
 func newShell(prog *target.Program, cfg Config) *Campaign {
 	n := cfg.Instances
 	c := &Campaign{
@@ -215,6 +258,7 @@ func newShell(prog *target.Program, cfg Config) *Campaign {
 		failed:   make([]error, n),
 		sleep:    time.Sleep,
 		tel:      cfg.Fuzzer.Telemetry,
+		union:    newUnion(cfg),
 	}
 	c.progress.execs = make([]uint64, n)
 	if r := c.tel; r != nil {
@@ -226,6 +270,9 @@ func newShell(prog *target.Program, cfg Config) *Campaign {
 		c.progress.telRevivals = r.Counter("campaign_revivals_total")
 		c.progress.telFailed = r.Counter("campaign_failed_instances_total")
 		r.Gauge("campaign_instances").Set(int64(n))
+		if c.union != nil {
+			c.telUnion = r.Gauge("campaign_union_edges")
+		}
 	}
 	for i := 0; i < n; i++ {
 		c.seenUpTo[i] = make([]int, n)
@@ -365,6 +412,13 @@ func (c *Campaign) round(fn func(*fuzzer.Fuzzer) error) error {
 				c.testFaultHook(i, f)
 			}
 			errs[i] = fn(f)
+			if errs[i] == nil && c.union != nil {
+				// Fold this instance's coverage into the campaign union
+				// while the other instances are still finishing their
+				// slices — with the sharded union the merges proceed
+				// lock-free instead of serializing on a mutex.
+				f.MergeVirginInto(c.union)
+			}
 			c.progress.noteExecs(i, f.Execs())
 		}(i, f)
 	}
@@ -378,6 +432,9 @@ func (c *Campaign) round(fn func(*fuzzer.Fuzzer) error) error {
 		return err
 	}
 	c.progress.noteRound()
+	if c.union != nil {
+		c.telUnion.Set(int64(c.union.CountDiscovered()))
+	}
 	return nil
 }
 
@@ -560,6 +617,10 @@ type Report struct {
 	UniqueCrashes int
 	// MaxEdges is the best single-instance edge coverage.
 	MaxEdges int
+	// UnionEdges is the campaign-level union coverage — edges discovered by
+	// any instance, computed from the virgin union (Config.VirginShards).
+	// Always >= MaxEdges when the union is enabled; 0 when it is off.
+	UnionEdges int
 	// Restarts sums instance revivals over the campaign's lifetime.
 	Restarts int
 	// FailedInstances counts instances abandoned after exhausting their
@@ -589,7 +650,16 @@ func (c *Campaign) Report() Report {
 		if c.failed[i] != nil {
 			rep.FailedInstances++
 		}
+		if c.union != nil && c.failed[i] == nil {
+			// Bring the union current with any coverage found since the
+			// last round boundary (imports during sync can discover edges).
+			f.MergeVirginInto(c.union)
+		}
 	}
 	rep.UniqueCrashes = union.Unique()
+	if c.union != nil {
+		rep.UnionEdges = c.union.CountDiscovered()
+		c.telUnion.Set(int64(rep.UnionEdges))
+	}
 	return rep
 }

@@ -202,3 +202,45 @@ func TestCampaignRunFor(t *testing.T) {
 		t.Error("RunFor executed nothing")
 	}
 }
+
+// TestCampaignVirginUnion pins the campaign-level union coverage: the sharded
+// lock-free union and the single-lock reference must land on identical union
+// state for the same campaign, the union must dominate every instance's own
+// coverage, and both schemes' maps must route through the slot translation
+// correctly (BigMap instances discover edges in different orders).
+func TestCampaignVirginUnion(t *testing.T) {
+	prog, seeds := campaignTarget(t)
+	for _, scheme := range []fuzzer.Scheme{fuzzer.SchemeAFL, fuzzer.SchemeBigMap} {
+		run := func(shards int) Report {
+			c, err := NewCampaign(prog, Config{
+				Instances:    3,
+				SyncEvery:    2000,
+				VirginShards: shards,
+				Fuzzer:       fuzzer.Config{Seed: 7, Scheme: scheme},
+			}, seeds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.RunExecs(4000); err != nil {
+				t.Fatal(err)
+			}
+			return c.Report()
+		}
+		locked := run(1)
+		sharded := run(8)
+		if locked.UnionEdges == 0 {
+			t.Fatalf("%s: union recorded no coverage", scheme)
+		}
+		if locked.UnionEdges != sharded.UnionEdges {
+			t.Fatalf("%s: locked union %d edges, sharded %d — implementations diverged",
+				scheme, locked.UnionEdges, sharded.UnionEdges)
+		}
+		if locked.UnionEdges < locked.MaxEdges {
+			t.Fatalf("%s: union %d < best instance %d", scheme, locked.UnionEdges, locked.MaxEdges)
+		}
+		off := run(0)
+		if off.UnionEdges != 0 {
+			t.Fatalf("%s: union disabled but UnionEdges = %d", scheme, off.UnionEdges)
+		}
+	}
+}

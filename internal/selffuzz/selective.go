@@ -1,0 +1,89 @@
+package selffuzz
+
+import (
+	"bytes"
+	"fmt"
+
+	"github.com/bigmap/bigmap/internal/checkpoint"
+	"github.com/bigmap/bigmap/internal/core"
+	"github.com/bigmap/bigmap/internal/fuzzer"
+	"github.com/bigmap/bigmap/internal/rng"
+)
+
+// RunSelectiveEquivalence is the campaign-level soundness check for selective
+// tracing and batched execution: four otherwise-identical campaigns — traced
+// sequential (the reference), selective sequential, traced batched, and
+// selective batched — must all land on bitwise-identical encoded snapshots
+// once the filter's own observability counters are zeroed out. The prefilter
+// is exact and the batch stage replays the sequential mutant stream, so the
+// only permitted difference is how many classify passes were spent getting
+// there. Fault injection (flaky edges, spurious crash/hang verdicts, cycle
+// jitter) stays live through sizeSel's upper bits, pinning the equivalence on
+// the crash- and hang-virgin paths too, not just the happy path.
+func RunSelectiveEquivalence(seed, steps, sizeSel, batchSel uint64) error {
+	prog, err := fuzzProg()
+	if err != nil {
+		return err
+	}
+	steps = steps%8 + 1
+	sizes := []int{1 << 12, 1 << 14, core.MapSize64K, core.MapSize256K}
+	mapSize := sizes[sizeSel%uint64(len(sizes))]
+	scheme := fuzzer.SchemeAFL
+	if sizeSel>>2&1 == 1 {
+		scheme = fuzzer.SchemeBigMap
+	}
+	// 0 disables batching; odd sizes exercise the partial final batch.
+	batches := []int{0, 4, 5, 8}
+	batch := batches[batchSel%uint64(len(batches))]
+
+	run := func(selective bool, batch int) ([]byte, error) {
+		f, err := fuzzer.New(prog, fuzzer.Config{
+			Scheme: scheme, MapSize: mapSize, Seed: seed, HavocRounds: 16,
+			Selective: selective,
+			BatchSize: batch,
+			Faults:    faultProfile(seed, sizeSel>>3),
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, s := range prog.SampleSeeds(rng.New(seed^0x5e1ec7), 2) {
+			if err := f.AddSeed(s); err != nil {
+				return nil, err
+			}
+		}
+		for i := uint64(0); i < steps; i++ {
+			if err := f.Step(); err != nil {
+				return nil, err
+			}
+		}
+		st := f.Snapshot()
+		// The filter changes how verdicts are computed, never what they are:
+		// its skip/re-run totals are the one legitimate difference.
+		st.FilterSkips, st.FilterFulls = 0, 0
+		return checkpoint.EncodeFuzzer(st), nil
+	}
+
+	want, err := run(false, 0)
+	if err != nil {
+		return err
+	}
+	for _, tc := range []struct {
+		label     string
+		selective bool
+		batch     int
+	}{
+		{"selective", true, 0},
+		{"batched", false, batch},
+		{"selective+batched", true, batch},
+	} {
+		got, err := run(tc.selective, tc.batch)
+		if err != nil {
+			return fmt.Errorf("%s: %w", tc.label, err)
+		}
+		if !bytes.Equal(want, got) {
+			return fmt.Errorf("%s campaign diverged from traced sequential (scheme=%s size=%d steps=%d seed=%d batch=%d): %d vs %d bytes",
+				tc.label, scheme, mapSize, steps, seed, tc.batch, len(want), len(got))
+		}
+	}
+	return nil
+}
