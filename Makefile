@@ -1,7 +1,7 @@
 # Development targets; CI (.github/workflows/ci.yml) runs `make check`'s
 # steps verbatim.
 
-.PHONY: check build test vet race dbg notel fuzz fuzz-checkpoint fuzz-selffuzz fuzz-all bench bench3 benchcmp bench-smoke bench-all results
+.PHONY: check build test vet race dbg notel serve-smoke fuzz fuzz-checkpoint fuzz-selffuzz fuzz-all bench bench3 benchcmp bench-smoke bench-all results
 
 check: vet build test race dbg notel
 
@@ -36,6 +36,14 @@ dbg:
 notel:
 	go build -tags bigmapnotel ./...
 	go test -tags bigmapnotel ./...
+
+# The fuzzing-as-a-service control plane, driven end to end over real HTTP:
+# submit, pause/resume/cancel, chaos-kill a worker mid-run and assert
+# auto-recovery, SIGTERM drain, restart-and-resume. Plus the package's race
+# suite (also covered by `make race`). Needs curl and jq.
+serve-smoke:
+	go test -race ./internal/serve/
+	./scripts/serve-smoke.sh
 
 # Per-target fuzzing budget for every fuzz* target below.
 FUZZTIME ?= 30s

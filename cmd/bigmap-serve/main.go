@@ -1,0 +1,120 @@
+// Command bigmap-serve runs the fuzzing-as-a-service control plane: an HTTP
+// daemon that accepts campaign submissions, schedules them fairly across a
+// bounded worker pool, checkpoints them on a cadence, and survives worker
+// crashes and its own untimely death.
+//
+//	bigmap-serve -addr :8765 -dir /var/lib/bigmap
+//
+// SIGTERM and SIGINT drain gracefully: the daemon stops accepting work,
+// pauses every campaign at its next round boundary with a last-gasp
+// checkpoint, and exits 0. A subsequent start with the same -dir offers the
+// paused campaigns for resumption; campaigns that were queued or running
+// when the process was killed outright are requeued automatically.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/bigmap/bigmap/internal/serve"
+	"github.com/bigmap/bigmap/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "bigmap-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("bigmap-serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8765", "HTTP listen address")
+	dir := fs.String("dir", "", "state directory (campaign metadata and checkpoints; required)")
+	workers := fs.Int("workers", 2, "worker pool size")
+	quantum := fs.Int("quantum", 4, "rounds a worker runs a campaign for before rescheduling")
+	chkEvery := fs.Int("checkpoint-every", 8, "checkpoint cadence in completed rounds")
+	maxActive := fs.Int("max-active", 64, "global bound on non-terminal campaigns")
+	tenantQuota := fs.Int("tenant-quota", 8, "per-tenant bound on non-terminal campaigns")
+	maxRestarts := fs.Int("max-restarts", 3, "worker crashes tolerated per campaign before it fails")
+	restartBackoff := fs.Duration("restart-backoff", 50*time.Millisecond, "base requeue backoff after a worker crash (doubles per restart, jittered)")
+	retryAfter := fs.Duration("retry-after", 2*time.Second, "Retry-After hint on shed submissions")
+	reqTimeout := fs.Duration("request-timeout", 30*time.Second, "per-request context deadline")
+	drainTimeout := fs.Duration("drain-timeout", time.Minute, "how long a SIGTERM drain may take before giving up")
+	chaos := fs.Bool("chaos", false, "enable POST /campaigns/{id}/kill fault injection")
+	jitterSeed := fs.Uint64("jitter-seed", 1, "seed for the restart-jitter stream")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return errors.New("-dir is required")
+	}
+
+	d, err := serve.Open(serve.Config{
+		Dir:             *dir,
+		Workers:         *workers,
+		QuantumRounds:   *quantum,
+		CheckpointEvery: *chkEvery,
+		MaxActive:       *maxActive,
+		TenantQuota:     *tenantQuota,
+		MaxRestarts:     *maxRestarts,
+		RestartBackoff:  *restartBackoff,
+		RetryAfter:      *retryAfter,
+		RequestTimeout:  *reqTimeout,
+		Chaos:           *chaos,
+		JitterSeed:      *jitterSeed,
+		Telemetry:       telemetry.New(),
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           d.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "bigmap-serve: listening on %s, state in %s\n", *addr, *dir)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(stop)
+
+	select {
+	case err := <-serveErr:
+		// The listener died under us; checkpoint what we can on the way out.
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		_ = d.Drain(drainCtx)
+		_ = d.Close()
+		return fmt.Errorf("http server: %w", err)
+	case sig := <-stop:
+		fmt.Fprintf(os.Stderr, "bigmap-serve: %v, draining\n", sig)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := d.Drain(drainCtx); err != nil {
+		// A second signal or an expired drain window: exit dirty rather than
+		// hang — recovery handles the rest on the next start.
+		fmt.Fprintf(os.Stderr, "bigmap-serve: drain incomplete: %v\n", err)
+		_ = d.Close()
+		_ = srv.Close()
+		return err
+	}
+	_ = d.Close()
+	shutCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	_ = srv.Shutdown(shutCtx)
+	fmt.Fprintln(os.Stderr, "bigmap-serve: drained, all campaigns checkpointed and paused")
+	return nil
+}

@@ -45,10 +45,11 @@ var analyzers = []scoped{
 		"internal/fuzzer", "internal/checkpoint", "internal/core",
 		"internal/parallel", "internal/mutation", "internal/target",
 		"internal/ensemble", "internal/bench", "internal/telemetry",
+		"internal/serve",
 	}},
 	{kernelparity.Analyzer, []string{"internal/core"}},
 	{codecsymmetry.Analyzer, []string{"internal/checkpoint"}},
-	{lockcheck.Analyzer, []string{"internal/parallel"}},
+	{lockcheck.Analyzer, []string{"internal/parallel", "internal/serve"}},
 }
 
 func main() {

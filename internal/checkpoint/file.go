@@ -1,16 +1,53 @@
 package checkpoint
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 )
 
+// retrySleep is time.Sleep, replaceable in tests so retry backoff is
+// observable without slowing the suite.
+var retrySleep = time.Sleep
+
 // Save atomically writes a framed checkpoint to path: the bytes go to a
-// temp file in the same directory, are synced, and are renamed over the
-// destination. A crash at any point leaves either the old snapshot or the
-// new one — never a torn file. The temp file is cleaned up on failure.
+// temp file in the same directory, are synced, are renamed over the
+// destination, and the parent directory is synced so the rename itself is
+// durable. A crash at any point leaves either the old snapshot or the new
+// one — never a torn file, and never a rename sitting only in the page
+// cache. The temp file is cleaned up on failure.
 func Save(path string, data []byte) error {
+	return SaveRetry(path, data, 1, 0)
+}
+
+// SaveRetry is Save with bounded retries for daemon use: a transient write
+// error (disk pressure, an interrupted syscall, a directory briefly missing
+// during rotation) is retried up to attempts times with exponential backoff
+// starting at backoff. Every error is treated as retryable — a last-gasp
+// checkpoint is exactly the write that should try hardest — and the bounded
+// attempt count keeps the caller's shutdown path from hanging. The returned
+// error joins every attempt's failure so none is silently lost.
+func SaveRetry(path string, data []byte, attempts int, backoff time.Duration) error {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var errs []error
+	for try := 0; try < attempts; try++ {
+		if try > 0 && backoff > 0 {
+			retrySleep(backoff << (try - 1))
+		}
+		err := saveOnce(path, data)
+		if err == nil {
+			return nil
+		}
+		errs = append(errs, fmt.Errorf("attempt %d: %w", try+1, err))
+	}
+	return errors.Join(errs...)
+}
+
+func saveOnce(path string, data []byte) error {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -37,7 +74,23 @@ func Save(path string, data []byte) error {
 		os.Remove(tmpName)
 		return fmt.Errorf("checkpoint: rename: %w", err)
 	}
+	if err := syncDir(dir); err != nil {
+		// The data file is safely in place; only the directory entry's
+		// durability is in doubt. Report it — the caller's retry loop will
+		// rewrite, and a crash before then loses at most the rename.
+		return fmt.Errorf("checkpoint: sync dir: %w", err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory so a rename inside it survives power loss.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // LoadFuzzer reads and decodes a single-instance checkpoint from path.

@@ -1,0 +1,129 @@
+package checkpoint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// stubSleep swaps the retry sleep for a recorder and restores it on cleanup.
+func stubSleep(t *testing.T, fn func(time.Duration)) *[]time.Duration {
+	t.Helper()
+	var slept []time.Duration
+	prev := retrySleep
+	retrySleep = func(d time.Duration) {
+		slept = append(slept, d)
+		if fn != nil {
+			fn(d)
+		}
+	}
+	t.Cleanup(func() { retrySleep = prev })
+	return &slept
+}
+
+// TestSaveRetryHealsTransientError: a save into a directory that appears
+// between attempts (the canonical transient failure: a rotation or mount
+// race) must succeed once the backoff hook has run, and the saved file must
+// decode.
+func TestSaveRetryHealsTransientError(t *testing.T) {
+	dir := t.TempDir()
+	missing := filepath.Join(dir, "not-yet")
+	path := filepath.Join(missing, "state.bm")
+	slept := stubSleep(t, func(time.Duration) {
+		if err := os.MkdirAll(missing, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	})
+	data := EncodeFuzzer(&FuzzerState{Scheme: "afl", MapSize: 64})
+	if err := SaveRetry(path, data, 3, time.Millisecond); err != nil {
+		t.Fatalf("SaveRetry = %v, want recovery on second attempt", err)
+	}
+	if len(*slept) != 1 {
+		t.Errorf("slept %d times, want exactly 1 (first retry heals)", len(*slept))
+	}
+	st, err := LoadFuzzer(path)
+	if err != nil {
+		t.Fatalf("LoadFuzzer after retried save: %v", err)
+	}
+	if st.Scheme != "afl" || st.MapSize != 64 {
+		t.Errorf("round trip = %+v", st)
+	}
+}
+
+// TestSaveRetryExhaustsAttempts: a persistently failing save returns after
+// exactly attempts tries, with every attempt's error joined in the result.
+func TestSaveRetryExhaustsAttempts(t *testing.T) {
+	slept := stubSleep(t, nil)
+	path := filepath.Join(t.TempDir(), "no-such-dir", "state.bm")
+	err := SaveRetry(path, []byte("x"), 3, time.Millisecond)
+	if err == nil {
+		t.Fatal("SaveRetry into a missing directory succeeded")
+	}
+	for _, want := range []string{"attempt 1", "attempt 2", "attempt 3"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %s", err, want)
+		}
+	}
+	if len(*slept) != 2 {
+		t.Errorf("slept %d times, want 2 (between 3 attempts)", len(*slept))
+	}
+}
+
+// TestSaveRetryBackoffDoubles: the pause between attempts doubles.
+func TestSaveRetryBackoffDoubles(t *testing.T) {
+	slept := stubSleep(t, nil)
+	path := filepath.Join(t.TempDir(), "gone", "state.bm")
+	_ = SaveRetry(path, []byte("x"), 4, 8*time.Millisecond)
+	want := []time.Duration{8 * time.Millisecond, 16 * time.Millisecond, 32 * time.Millisecond}
+	if len(*slept) != len(want) {
+		t.Fatalf("slept %v, want %v", *slept, want)
+	}
+	for i := range want {
+		if (*slept)[i] != want[i] {
+			t.Errorf("backoff[%d] = %v, want %v", i, (*slept)[i], want[i])
+		}
+	}
+}
+
+// TestSaveSingleAttemptNeverSleeps: plain Save is SaveRetry with one
+// attempt — no backoff machinery on the common path.
+func TestSaveSingleAttemptNeverSleeps(t *testing.T) {
+	slept := stubSleep(t, nil)
+	path := filepath.Join(t.TempDir(), "state.bm")
+	if err := Save(path, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if len(*slept) != 0 {
+		t.Errorf("Save slept %d times, want 0", len(*slept))
+	}
+	got, err := os.ReadFile(path)
+	if err != nil || string(got) != "payload" {
+		t.Errorf("read back %q, %v", got, err)
+	}
+}
+
+// TestSaveLeavesNoTempDebris: both success and failure paths must clean up
+// their temp files; a daemon checkpointing on a cadence cannot leak one
+// file per save.
+func TestSaveLeavesNoTempDebris(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.bm")
+	for i := 0; i < 3; i++ {
+		if err := Save(path, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "state.bm" {
+		names := make([]string, 0, len(entries))
+		for _, e := range entries {
+			names = append(names, e.Name())
+		}
+		t.Errorf("directory holds %v, want only state.bm", names)
+	}
+}

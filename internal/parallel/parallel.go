@@ -33,6 +33,7 @@ import (
 	"github.com/bigmap/bigmap/internal/core"
 	"github.com/bigmap/bigmap/internal/crash"
 	"github.com/bigmap/bigmap/internal/fuzzer"
+	"github.com/bigmap/bigmap/internal/rng"
 	"github.com/bigmap/bigmap/internal/target"
 	"github.com/bigmap/bigmap/internal/telemetry"
 )
@@ -94,6 +95,12 @@ type Campaign struct {
 	// of every instance round — tests inject panics through it.
 	sleep         func(time.Duration)
 	testFaultHook func(instance int, f *fuzzer.Fuzzer)
+
+	// jrng draws revival-backoff jitter. Deterministic in the campaign seed
+	// so supervision replays identically, and consumed only on revival, so
+	// it is deliberately not part of the checkpointed state: jitter shapes
+	// when a revived instance restarts, never what it computes.
+	jrng *rng.Source
 
 	// progress holds the live counters behind Progress. Instance
 	// goroutines publish into it mid-round, so it is the one piece of
@@ -257,6 +264,7 @@ func newShell(prog *target.Program, cfg Config) *Campaign {
 		restarts: make([]int, n),
 		failed:   make([]error, n),
 		sleep:    time.Sleep,
+		jrng:     rng.New(cfg.Fuzzer.Seed ^ 0x6a17_7e5b_ac0f_5eed),
 		tel:      cfg.Fuzzer.Telemetry,
 		union:    newUnion(cfg),
 	}
@@ -439,12 +447,16 @@ func (c *Campaign) round(fn func(*fuzzer.Fuzzer) error) error {
 }
 
 // reviveOrFail restarts instance i from its last checkpoint, backing off
-// exponentially per attempt; when the restart budget runs out the instance
-// is abandoned with its accumulated errors and the campaign carries on.
+// exponentially per attempt with deterministic jitter — several instances
+// felled by the same round-level fault would otherwise sleep the exact same
+// doubling sequence and stampede the executor in lockstep forever; when the
+// restart budget runs out the instance is abandoned with its accumulated
+// errors and the campaign carries on.
 func (c *Campaign) reviveOrFail(i int, cause error) {
 	for c.restarts[i] < c.cfg.MaxRestarts {
 		c.restarts[i]++
-		c.sleep(c.cfg.RestartBackoff << (c.restarts[i] - 1))
+		base := c.cfg.RestartBackoff << (c.restarts[i] - 1)
+		c.sleep(base + jitter(c.jrng, base))
 		f, err := fuzzer.Resume(c.prog, c.instanceCfg(i), c.snaps[i])
 		if err == nil {
 			c.fuzzers[i] = f
@@ -460,6 +472,16 @@ func (c *Campaign) reviveOrFail(i int, cause error) {
 	c.failed[i] = cause
 	c.progress.noteFailed()
 	c.tel.Event("instance_failed", fmt.Sprintf("instance %d abandoned: %v", i, cause))
+}
+
+// jitter draws a uniform delay in [0, base/2] from src, decorrelating
+// revivals that would otherwise fire in lockstep. Half the base keeps the
+// worst-case pause under 1.5x the documented exponential sequence.
+func jitter(src *rng.Source, base time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	return time.Duration(src.Uint64() % (uint64(base)/2 + 1))
 }
 
 func (c *Campaign) allFailedErr() error {
@@ -629,6 +651,24 @@ type Report struct {
 	// Errors holds each instance's terminal error, indexed by instance;
 	// nil for instances still live.
 	Errors []error
+	// Failures details every instance abandoned after exhausting its
+	// restart budget: which instance, how many revivals were burned, and
+	// the joined error chain. Empty when every instance is live — the
+	// structured view of Errors for callers (the serve control plane)
+	// that surface per-instance health instead of one campaign error.
+	Failures []InstanceFailure
+}
+
+// InstanceFailure is one abandoned instance's terminal record.
+type InstanceFailure struct {
+	// Instance is the instance index within the campaign.
+	Instance int
+	// Restarts is the number of revivals consumed before abandonment
+	// (always the campaign's MaxRestarts — the budget was exhausted).
+	Restarts int
+	// Err is the joined chain of the original fault and every failed
+	// revival attempt.
+	Err error
 }
 
 // Report snapshots the campaign.
@@ -649,6 +689,11 @@ func (c *Campaign) Report() Report {
 		rep.Restarts += c.restarts[i]
 		if c.failed[i] != nil {
 			rep.FailedInstances++
+			rep.Failures = append(rep.Failures, InstanceFailure{
+				Instance: i,
+				Restarts: c.restarts[i],
+				Err:      c.failed[i],
+			})
 		}
 		if c.union != nil && c.failed[i] == nil {
 			// Bring the union current with any coverage found since the

@@ -100,6 +100,16 @@ func TestCampaignMarksInstanceFailed(t *testing.T) {
 	if rep.Restarts != 2 {
 		t.Errorf("Restarts = %d, want exactly MaxRestarts", rep.Restarts)
 	}
+	if len(rep.Failures) != 1 {
+		t.Fatalf("Failures = %v, want exactly one record", rep.Failures)
+	}
+	fail := rep.Failures[0]
+	if fail.Instance != 1 || fail.Restarts != 2 {
+		t.Errorf("Failures[0] = {instance %d, restarts %d}, want {1, 2}", fail.Instance, fail.Restarts)
+	}
+	if fail.Err == nil || !strings.Contains(fail.Err.Error(), "hopeless") {
+		t.Errorf("Failures[0].Err = %v, want the panic cause", fail.Err)
+	}
 	for _, i := range []int{0, 2} {
 		if got := c.Instances()[i].Execs(); got < 2500 {
 			t.Errorf("surviving instance %d execs = %d, want >= 2500", i, got)
@@ -124,7 +134,8 @@ func TestCampaignAllFailed(t *testing.T) {
 }
 
 // TestCampaignBackoffExponential: revival delays double per restart of the
-// same instance.
+// same instance, each padded with jitter in [0, base/2] so synchronized
+// faults cannot stampede revivals in lockstep.
 func TestCampaignBackoffExponential(t *testing.T) {
 	c, slept := quietCampaign(t, Config{
 		Instances:      2,
@@ -143,9 +154,54 @@ func TestCampaignBackoffExponential(t *testing.T) {
 	if err := c.RunExecs(3000); err != nil {
 		t.Fatal(err)
 	}
-	want := []time.Duration{8 * time.Millisecond, 16 * time.Millisecond, 32 * time.Millisecond}
-	if !reflect.DeepEqual(*slept, want) {
-		t.Errorf("backoff sequence %v, want %v", *slept, want)
+	bases := []time.Duration{8 * time.Millisecond, 16 * time.Millisecond, 32 * time.Millisecond}
+	if len(*slept) != len(bases) {
+		t.Fatalf("backoff sequence %v, want %d delays", *slept, len(bases))
+	}
+	for i, base := range bases {
+		got := (*slept)[i]
+		if got < base || got > base+base/2 {
+			t.Errorf("backoff[%d] = %v, want in [%v, %v] (base + jitter)", i, got, base, base+base/2)
+		}
+	}
+}
+
+// TestCampaignBackoffJitterDeterministic: the jitter stream is seeded from
+// the campaign seed, so an identically-configured campaign replays the exact
+// same revival delays — supervision is as reproducible as fuzzing.
+func TestCampaignBackoffJitterDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		c, slept := quietCampaign(t, Config{
+			Instances:      2,
+			SyncEvery:      500,
+			MaxRestarts:    3,
+			RestartBackoff: 8 * time.Millisecond,
+			Fuzzer:         fuzzer.Config{Seed: 10},
+		})
+		fails := 0
+		c.testFaultHook = func(i int, f *fuzzer.Fuzzer) {
+			if i == 1 && fails < 3 {
+				fails++
+				panic("flaky instance")
+			}
+		}
+		if err := c.RunExecs(3000); err != nil {
+			t.Fatal(err)
+		}
+		return *slept
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Errorf("jitter not deterministic: %v vs %v", a, b)
+	}
+	jittered := false
+	for i, d := range a {
+		if d != 8*time.Millisecond<<i {
+			jittered = true
+		}
+	}
+	if !jittered {
+		t.Log("note: every jitter draw was zero for this seed (legal but unusual)")
 	}
 }
 

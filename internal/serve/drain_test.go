@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDrainParksEverything is the SIGTERM-equivalent drill: after Drain
+// returns, every non-terminal campaign must be paused in memory AND on disk
+// with a loadable checkpoint covering every round the public view claims —
+// the state a restarted daemon resumes from with nothing lost.
+func TestDrainParksEverything(t *testing.T) {
+	cfg := testConfig(t.TempDir())
+	d := openTest(t, cfg)
+
+	// One campaign running (single worker), two more waiting in queues.
+	ids := []string{
+		submit(t, d, "acme", testSpec(1<<18)).ID,
+		submit(t, d, "acme", testSpec(1<<18)).ID,
+		submit(t, d, "umbrella", testSpec(1<<18)).ID,
+	}
+	// Wait until every campaign has run at least one round: with a single
+	// worker that guarantees at least two of them sit queued *between
+	// quanta* at drain time, carrying boundary state ahead of their newest
+	// cadence checkpoint — the case where drain itself must take the
+	// last-gasp checkpoint.
+	for _, id := range ids {
+		waitFor(t, d, id, "progress", func(i *Info) bool { return i.Rounds > 0 })
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := d.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+
+	for _, id := range ids {
+		info, err := d.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if info.State != StatePaused {
+			t.Errorf("%s drained to %s, want paused", id, info.State)
+		}
+		m, err := d.store.loadMeta(id)
+		if err != nil {
+			t.Fatalf("loadMeta(%s): %v", id, err)
+		}
+		if m.State != StatePaused {
+			t.Errorf("%s persisted as %s, want paused", id, m.State)
+		}
+		cs, rounds, err := d.store.loadCheckpoint(id)
+		if err != nil {
+			t.Fatalf("%s has no loadable checkpoint after drain: %v", id, err)
+		}
+		if cs == nil || len(cs.Instances) == 0 {
+			t.Errorf("%s checkpoint is empty", id)
+		}
+		if rounds != info.Rounds {
+			t.Errorf("%s checkpoint covers %d rounds but view claims %d", id, rounds, info.Rounds)
+		}
+	}
+
+	// A draining daemon accepts no new work and says so.
+	if _, err := d.Submit(context.Background(), SubmitRequest{Tenant: "acme", Spec: testSpec(2)}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Submit while draining: %v, want ErrDraining", err)
+	}
+	if _, err := d.Resume(context.Background(), ids[0]); !errors.Is(err, ErrDraining) {
+		t.Fatalf("Resume while draining: %v, want ErrDraining", err)
+	}
+
+	// Drain is idempotent.
+	if err := d.Drain(ctx); err != nil {
+		t.Fatalf("second Drain: %v", err)
+	}
+}
+
+// TestDrainThenRestartResumes closes the loop: drained campaigns stay paused
+// across a restart (no auto-requeue — pausing was deliberate) and resume on
+// request, picking up exactly where the checkpoint left them.
+func TestDrainThenRestartResumes(t *testing.T) {
+	cfg := testConfig(t.TempDir())
+	d := openTest(t, cfg)
+	id := submit(t, d, "acme", testSpec(1<<18)).ID
+	waitFor(t, d, id, "progress", func(i *Info) bool { return i.Rounds > 0 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := d.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	parked, err := d.Get(id)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	d.Close()
+
+	d2 := openTest(t, cfg)
+	info, err := d2.Get(id)
+	if err != nil {
+		t.Fatalf("Get after restart: %v", err)
+	}
+	if info.State != StatePaused {
+		t.Fatalf("drained campaign restarted as %s, want paused", info.State)
+	}
+	if info.Rounds != parked.Rounds {
+		t.Fatalf("restart changed round count: %d -> %d", parked.Rounds, info.Rounds)
+	}
+	if _, err := d2.Resume(context.Background(), id); err != nil {
+		t.Fatalf("Resume after restart: %v", err)
+	}
+	waitFor(t, d2, id, "progress after resume", func(i *Info) bool { return i.Rounds > parked.Rounds })
+}

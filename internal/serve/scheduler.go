@@ -1,0 +1,478 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/bigmap/bigmap/internal/crash"
+)
+
+// worker is one pool goroutine: pop a runnable campaign, run it for a
+// quantum of rounds, hand it back. Exits on drain or close.
+func (d *Daemon) worker() {
+	defer d.wg.Done()
+	for {
+		c := d.next()
+		if c == nil {
+			return
+		}
+		d.runQuantum(c)
+	}
+}
+
+// next blocks until a campaign is runnable or the daemon is shutting down.
+// Popping marks the campaign running; "running" is an in-memory state only —
+// on disk the campaign stays queued, so a kill -9 mid-round recovers by
+// requeueing it, which is exactly the right outcome.
+func (d *Daemon) next() *campaign {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for {
+		if d.closed || d.draining {
+			return nil
+		}
+		if c := d.popLocked(); c != nil {
+			c.state = StateRunning
+			d.updateGaugesLocked()
+			return c
+		}
+		d.cond.Wait()
+	}
+}
+
+// popLocked implements fair-share scheduling: tenants take turns in ring
+// order, each contributing the head of its FIFO. Entries whose campaign was
+// paused or cancelled while waiting are dropped lazily here, and tenants
+// whose queues empty out leave the ring. Caller holds mu.
+func (d *Daemon) popLocked() *campaign {
+	for len(d.ring) > 0 {
+		if d.rrNext >= len(d.ring) {
+			d.rrNext = 0
+		}
+		tenant := d.ring[d.rrNext]
+		q := d.queues[tenant]
+		for len(q) > 0 && (q[0].state != StateQueued || !q[0].inQueue) {
+			q[0].inQueue = false
+			q = q[1:]
+		}
+		if len(q) == 0 {
+			delete(d.queues, tenant)
+			d.ring = append(d.ring[:d.rrNext], d.ring[d.rrNext+1:]...)
+			continue
+		}
+		c := q[0]
+		d.queues[tenant] = q[1:]
+		c.inQueue = false
+		d.rrNext++
+		return c
+	}
+	return nil
+}
+
+// enqueueLocked makes a campaign runnable, registering its tenant in the
+// round-robin ring on first use. Caller holds mu.
+func (d *Daemon) enqueueLocked(c *campaign) {
+	c.state = StateQueued
+	if c.inQueue {
+		return
+	}
+	c.inQueue = true
+	if _, ok := d.queues[c.tenant]; !ok {
+		d.ring = append(d.ring, c.tenant)
+	}
+	d.queues[c.tenant] = append(d.queues[c.tenant], c)
+	d.updateGaugesLocked()
+	d.cond.Signal()
+}
+
+// runQuantum executes up to QuantumRounds sync rounds of one campaign,
+// honouring control requests and the checkpoint cadence at every round
+// boundary, then either retires the campaign or hands it back to the queue.
+func (d *Daemon) runQuantum(c *campaign) {
+	if c.runtime == nil {
+		if err := d.materialize(c); err != nil {
+			d.failNow(c, fmt.Errorf("materialize: %w", err))
+			return
+		}
+	}
+	for q := 0; q < d.cfg.QuantumRounds; q++ {
+		if !d.control(c) {
+			return
+		}
+		if err := c.runtime.RunRounds(1); err != nil {
+			d.workerCrashed(c, err)
+			return
+		}
+		d.mu.Lock()
+		c.rounds++
+		rounds := c.rounds
+		chkDue := rounds-c.chkRounds >= d.cfg.CheckpointEvery
+		done := rounds >= c.spec.Rounds
+		d.mu.Unlock()
+		if done {
+			d.finishNow(c)
+			return
+		}
+		if chkDue {
+			if err := d.checkpointNow(c, rounds); err != nil {
+				// The retrying writer already exhausted its budget; treat
+				// unwritable state like a worker crash so the circuit
+				// breaker bounds how long a broken disk is hammered.
+				d.workerCrashed(c, err)
+				return
+			}
+		}
+	}
+	d.noteProgress(c)
+	d.mu.Lock()
+	if d.closed {
+		c.runtime = nil
+		d.mu.Unlock()
+		return
+	}
+	if d.draining {
+		d.mu.Unlock()
+		d.pauseNow(c)
+		return
+	}
+	d.enqueueLocked(c)
+	d.mu.Unlock()
+}
+
+// control consumes any pending control request at a round boundary and acts
+// on it. Returns false when the worker must stop executing this campaign.
+func (d *Daemon) control(c *campaign) bool {
+	d.mu.Lock()
+	closed, draining := d.closed, d.draining
+	kill, cancel, pause := c.wantKill, c.wantCancel, c.wantPause
+	c.wantKill, c.wantCancel, c.wantPause = false, false, false
+	d.mu.Unlock()
+	switch {
+	case closed:
+		// Hard stop: abandon without checkpointing, like a real kill -9.
+		c.runtime = nil
+		return false
+	case kill:
+		d.workerCrashed(c, errors.New("chaos: worker killed by request"))
+		return false
+	case cancel:
+		d.cancelNow(c)
+		return false
+	case draining || pause:
+		d.pauseNow(c)
+		return false
+	}
+	return true
+}
+
+// materialize rebuilds the campaign runtime from the newest on-disk
+// checkpoint (the generated target program is cached across rebuilds — it is
+// a pure function of the spec). Rounds roll back to what the checkpoint
+// covers; the split-invariance of RunRounds makes re-running the difference
+// reproduce the lost state bit for bit.
+func (d *Daemon) materialize(c *campaign) error {
+	if c.prog == nil {
+		prog, err := c.spec.buildProgram()
+		if err != nil {
+			return err
+		}
+		c.prog = prog
+	}
+	cs, rounds, err := d.store.loadCheckpoint(c.id)
+	if err != nil {
+		return err
+	}
+	rt, err := c.spec.resumeCampaign(c.prog, cs, c.reg)
+	if err != nil {
+		return err
+	}
+	c.runtime = rt
+	d.mu.Lock()
+	c.rounds = rounds
+	c.chkRounds = rounds
+	d.mu.Unlock()
+	c.reg.Event("resumed_from_checkpoint", fmt.Sprintf("round %d", rounds))
+	return nil
+}
+
+// checkpointNow persists the runtime state as covering the given round
+// count.
+func (d *Daemon) checkpointNow(c *campaign, rounds int) error {
+	if err := d.store.saveCheckpoint(c.id, rounds, c.runtime.Snapshot()); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	c.chkRounds = rounds
+	d.mu.Unlock()
+	c.reg.Event("checkpoint_saved", fmt.Sprintf("round %d", rounds))
+	return nil
+}
+
+// noteProgress refreshes the campaign's cached stats, crash buckets and
+// progress events from the (worker-owned) runtime. Runs only at quantum
+// boundaries so the read endpoints never touch a running round.
+func (d *Daemon) noteProgress(c *campaign) {
+	rep := c.runtime.Report()
+	d.mu.Lock()
+	rounds := c.rounds
+	prev := c.stats
+	d.mu.Unlock()
+	st := statsFromReport(rounds, rep)
+
+	union := crash.NewDeduper()
+	for _, f := range c.runtime.Instances() {
+		union.Merge(f.Crashes())
+	}
+	buckets := bucketsFromRecords(union.Records())
+
+	prevEdges, prevUnique, prevFailed := 0, 0, 0
+	if prev != nil {
+		prevEdges, prevUnique, prevFailed = prev.Edges, prev.UniqueCrashes, prev.FailedInstances
+	}
+	if st.Edges > prevEdges {
+		c.reg.Event("new_coverage", fmt.Sprintf("%d edges (+%d) at round %d", st.Edges, st.Edges-prevEdges, rounds))
+	}
+	if st.UniqueCrashes > prevUnique {
+		c.reg.Event("new_crash", fmt.Sprintf("%d unique buckets (+%d) at round %d", st.UniqueCrashes, st.UniqueCrashes-prevUnique, rounds))
+	}
+	if st.FailedInstances > prevFailed {
+		for _, f := range rep.Failures {
+			c.reg.Event("instance_failed", fmt.Sprintf("instance %d after %d restarts: %v", f.Instance, f.Restarts, f.Err))
+		}
+	}
+
+	d.mu.Lock()
+	c.stats = st
+	c.crashes = buckets
+	d.mu.Unlock()
+}
+
+// finishNow retires a campaign that has completed its round budget: final
+// stats, final checkpoint, terminal state.
+func (d *Daemon) finishNow(c *campaign) {
+	d.noteProgress(c)
+	d.mu.Lock()
+	rounds := c.rounds
+	d.mu.Unlock()
+	if err := d.checkpointNow(c, rounds); err != nil {
+		c.reg.Event("checkpoint_error", err.Error())
+	}
+	d.mu.Lock()
+	c.state = StateFinished
+	c.runtime = nil
+	m := c.metaLocked()
+	d.updateGaugesLocked()
+	d.mu.Unlock()
+	if err := d.writeMeta(m); err != nil {
+		c.reg.Event("meta_error", err.Error())
+	}
+	c.reg.Event("finished", fmt.Sprintf("%d rounds complete", rounds))
+	d.telFinished.Inc()
+	d.reg.Event("finished", c.id)
+}
+
+// pauseNow takes a last-gasp checkpoint and parks the campaign. Used for
+// operator pauses and for drain; either way the on-disk state is complete
+// the moment this returns, so a subsequent crash or restart loses nothing.
+func (d *Daemon) pauseNow(c *campaign) {
+	d.noteProgress(c)
+	d.mu.Lock()
+	rounds := c.rounds
+	d.mu.Unlock()
+	if err := d.checkpointNow(c, rounds); err != nil {
+		// Could not persist the frontier: roll the round count back to the
+		// newest durable checkpoint so the public view never promises state
+		// the disk does not hold.
+		c.reg.Event("checkpoint_error", err.Error())
+		d.mu.Lock()
+		c.rounds = c.chkRounds
+		rounds = c.rounds
+		d.mu.Unlock()
+	}
+	d.mu.Lock()
+	// A cancel can slip in while we were checkpointing a parked campaign;
+	// never demote a terminal state back to paused.
+	if !c.state.Terminal() {
+		c.state = StatePaused
+	}
+	c.runtime = nil
+	m := c.metaLocked()
+	d.updateGaugesLocked()
+	d.mu.Unlock()
+	if err := d.writeMeta(m); err != nil {
+		c.reg.Event("meta_error", err.Error())
+	}
+	c.reg.Event("paused", fmt.Sprintf("at round %d", rounds))
+}
+
+// cancelNow retires a cancelled campaign.
+func (d *Daemon) cancelNow(c *campaign) {
+	d.noteProgress(c)
+	d.mu.Lock()
+	c.state = StateCancelled
+	c.runtime = nil
+	m := c.metaLocked()
+	d.updateGaugesLocked()
+	d.mu.Unlock()
+	if err := d.writeMeta(m); err != nil {
+		c.reg.Event("meta_error", err.Error())
+	}
+	c.reg.Event("cancelled", "cancelled at round boundary")
+}
+
+// failNow retires a campaign whose crash budget is spent (or that cannot be
+// materialized at all).
+func (d *Daemon) failNow(c *campaign, cause error) {
+	d.mu.Lock()
+	c.state = StateFailed
+	c.errText = cause.Error()
+	c.runtime = nil
+	m := c.metaLocked()
+	d.updateGaugesLocked()
+	d.mu.Unlock()
+	if err := d.writeMeta(m); err != nil {
+		c.reg.Event("meta_error", err.Error())
+	}
+	c.reg.Event("failed", cause.Error())
+	d.reg.Event("campaign_failed", fmt.Sprintf("%s: %v", c.id, cause))
+}
+
+// workerCrashed handles a worker dying under a campaign (a RunRounds error,
+// an unwritable checkpoint, or the chaos kill): uncheckpointed rounds are
+// rolled back, the restart is charged against the circuit breaker, and the
+// campaign is requeued after an exponential backoff with deterministic
+// jitter — or failed once the budget is spent.
+func (d *Daemon) workerCrashed(c *campaign, cause error) {
+	d.telRestarts.Inc()
+	d.mu.Lock()
+	c.runtime = nil
+	c.rounds = c.chkRounds
+	c.restarts++
+	restarts := c.restarts
+	d.mu.Unlock()
+	c.reg.Event("worker_crashed", fmt.Sprintf("restart %d/%d: %v", restarts, d.cfg.MaxRestarts, cause))
+	if restarts > d.cfg.MaxRestarts {
+		d.failNow(c, fmt.Errorf("circuit breaker: %d worker crashes, last: %w", restarts, cause))
+		return
+	}
+	base := d.cfg.RestartBackoff << (restarts - 1)
+	d.mu.Lock()
+	delay := base + time.Duration(d.jrng.Uint64()%(uint64(base)/2+1))
+	// Queued-but-not-enqueued: runnable once the backoff elapses. Persisted
+	// so a kill -9 during the backoff still counts the restart and the next
+	// daemon requeues the campaign immediately.
+	c.state = StateQueued
+	m := c.metaLocked()
+	d.mu.Unlock()
+	if err := d.writeMeta(m); err != nil {
+		c.reg.Event("meta_error", err.Error())
+	}
+	d.reg.Event("backoff", fmt.Sprintf("%s requeue in %v (restart %d)", c.id, delay, restarts))
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		t := time.NewTimer(delay)
+		defer t.Stop()
+		select {
+		case <-t.C:
+		case <-d.stopCh:
+			return
+		}
+		d.mu.Lock()
+		defer d.mu.Unlock()
+		if d.closed || d.draining || c.state != StateQueued || c.inQueue {
+			return
+		}
+		d.enqueueLocked(c)
+	}()
+}
+
+// Drain is the graceful-shutdown entry point (the daemon binary calls it on
+// SIGTERM): stop accepting work, pause every queued campaign, let running
+// campaigns pause with a last-gasp checkpoint at their next round boundary,
+// and wait for the pool to go quiet. After a successful drain every
+// non-terminal campaign is on disk as paused with a loadable checkpoint.
+func (d *Daemon) Drain(ctx context.Context) error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return fmt.Errorf("serve: daemon already closed")
+	}
+	first := !d.draining
+	d.draining = true
+	if !d.stopped {
+		d.stopped = true
+		close(d.stopCh)
+	}
+	d.cond.Broadcast()
+	var metas []*meta
+	var park []*campaign
+	if first {
+		for _, c := range d.campaigns {
+			if c.state == StateQueued {
+				c.inQueue = false
+				if c.runtime != nil {
+					// The campaign sits between quanta with boundary state
+					// a worker left behind, possibly ahead of its newest
+					// checkpoint. Clearing the queues below orphans it from
+					// every worker, so this goroutine now owns the runtime
+					// and takes the last-gasp checkpoint outside the lock.
+					park = append(park, c)
+				} else {
+					c.state = StatePaused
+					metas = append(metas, c.metaLocked())
+				}
+			}
+		}
+		d.queues = make(map[string][]*campaign)
+		d.ring = nil
+		d.updateGaugesLocked()
+	}
+	d.mu.Unlock()
+	if first {
+		d.reg.Event("draining", fmt.Sprintf("%d queued campaigns paused", len(metas)+len(park)))
+	}
+	var firstErr error
+	for _, m := range metas {
+		if err := d.writeMeta(m); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, c := range park {
+		d.pauseNow(c)
+	}
+	done := make(chan struct{})
+	go func() {
+		d.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return firstErr
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close hard-stops the daemon: workers abandon their campaigns at the next
+// round boundary without checkpointing or metadata writes. This is the
+// kill -9 of the in-process world — tests use it to prove recovery — and
+// the correct final step after a successful Drain.
+func (d *Daemon) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	if !d.stopped {
+		d.stopped = true
+		close(d.stopCh)
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	d.wg.Wait()
+	return nil
+}
