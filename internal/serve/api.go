@@ -7,7 +7,9 @@
 // and poll stats, new-coverage events and crash buckets. Many concurrent
 // campaigns share a bounded worker pool with fair-share scheduling across
 // tenants; per-tenant and global quotas shed excess load with 429 and a
-// Retry-After hint instead of growing without bound.
+// Retry-After hint instead of growing without bound. Tenancy is asserted by
+// the client, not authenticated — see SubmitRequest.Tenant for the trust
+// model and the proxy deployments that make quotas enforceable.
 //
 // Robustness is the organizing principle. Every campaign is checkpointed on
 // a configurable round cadence through the hardened atomic writer in
@@ -115,6 +117,13 @@ type Spec struct {
 type SubmitRequest struct {
 	// Tenant is the quota domain the campaign bills against. Letters,
 	// digits, '-' and '_' only; defaults to "default".
+	//
+	// The tenant is client-asserted: the daemon performs no authentication,
+	// so per-tenant quotas and fair-share scheduling are advisory against a
+	// client willing to vary the string per submission — only the global
+	// MaxActive cap actually bounds an untrusted client. Deployments that
+	// need enforced isolation must put the API behind an authenticating
+	// proxy that pins or injects the tenant from verified credentials.
 	Tenant string `json:"tenant,omitempty"`
 	// Spec defines the campaign.
 	Spec Spec `json:"spec"`

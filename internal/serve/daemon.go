@@ -204,6 +204,13 @@ func (d *Daemon) recover() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	for _, id := range ids {
+		// Reserve every on-disk ID — loadable or not — before anything else.
+		// If an unloadable directory's ID were re-minted by a later Submit,
+		// the new campaign would land in the stale directory and could
+		// resume from another campaign's leftover checkpoints.
+		if n, ok := parseID(id); ok && n >= d.nextID {
+			d.nextID = n + 1
+		}
 		m, err := d.store.loadMeta(id)
 		if err != nil {
 			d.reg.Event("recovery_skipped", fmt.Sprintf("%s: %v", id, err))
@@ -219,12 +226,13 @@ func (d *Daemon) recover() error {
 			stats:    m.Stats,
 			reg:      telemetry.New(),
 		}
-		if rounds := d.store.checkpointRounds(id); len(rounds) > 0 {
-			c.chkRounds = rounds[0]
-			c.rounds = rounds[0]
-		}
-		if n, ok := parseID(id); ok && n >= d.nextID {
-			d.nextID = n + 1
+		// Derive the recovered round count from the newest checkpoint that
+		// actually decodes — trusting the newest filename alone would let a
+		// corrupt file make Info promise rounds that materialize() must then
+		// walk back to an older checkpoint.
+		if _, rounds, err := d.store.loadCheckpoint(id); err == nil {
+			c.chkRounds = rounds
+			c.rounds = rounds
 		}
 		d.campaigns[id] = c
 		switch m.State {
@@ -298,11 +306,18 @@ func (d *Daemon) Submit(ctx context.Context, req SubmitRequest) (*Info, error) {
 	d.updateGaugesLocked()
 	d.mu.Unlock()
 
+	created := false
 	abort := func(err error) (*Info, error) {
 		d.mu.Lock()
 		delete(d.campaigns, id)
 		d.updateGaugesLocked()
 		d.mu.Unlock()
+		if created {
+			// Leave no half-born directory behind: without a meta.json it
+			// could never load again, and recovery would log it as skipped
+			// on every subsequent start.
+			d.store.remove(id)
+		}
 		return nil, err
 	}
 	prog, err := spec.buildProgram()
@@ -316,6 +331,7 @@ func (d *Daemon) Submit(ctx context.Context, req SubmitRequest) (*Info, error) {
 	if err := d.store.create(id); err != nil {
 		return abort(err)
 	}
+	created = true
 	// Round-0 checkpoint before the campaign is runnable: from here on a
 	// drain or a crash always has a valid snapshot to fall back to, and a
 	// campaign that never ran still pauses cleanly.
@@ -325,20 +341,31 @@ func (d *Daemon) Submit(ctx context.Context, req SubmitRequest) (*Info, error) {
 	c.prog = prog
 	c.runtime = runtime
 
+	// Persist the metadata before the campaign becomes runnable: abort (and
+	// its directory removal) must never race with a worker that already owns
+	// the runtime.
 	d.mu.Lock()
 	if d.draining || d.closed {
 		// Shutdown won the race with materialization: persist as paused so
 		// the next daemon offers the campaign for resumption.
 		c.state = StatePaused
-	} else {
-		d.enqueueLocked(c)
 	}
 	m := c.metaLocked()
-	info := c.infoLocked()
 	d.mu.Unlock()
 	if err := d.writeMeta(m); err != nil {
 		return abort(err)
 	}
+	d.mu.Lock()
+	if !d.draining && !d.closed && c.state == StateQueued {
+		d.enqueueLocked(c)
+	} else if !c.state.Terminal() {
+		// Shutdown began between the meta write and here; Drain's sweep has
+		// already run, so park the campaign ourselves (the round-0
+		// checkpoint above makes the paused state complete).
+		c.state = StatePaused
+	}
+	info := c.infoLocked()
+	d.mu.Unlock()
 	d.telSubmitted.Inc()
 	d.reg.Event("submitted", fmt.Sprintf("%s tenant=%s bench=%s rounds=%d", id, tenant, spec.Bench, spec.Rounds))
 	return info, nil

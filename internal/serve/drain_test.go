@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"sync"
 	"testing"
 	"time"
 )
@@ -74,6 +75,61 @@ func TestDrainParksEverything(t *testing.T) {
 	// Drain is idempotent.
 	if err := d.Drain(ctx); err != nil {
 		t.Fatalf("second Drain: %v", err)
+	}
+}
+
+// TestDrainConcurrentPause races operator pauses against a drain. Both
+// paths may find the same between-quanta campaign (queued with a live
+// runtime) and want to park it; exactly one of them may own the runtime
+// and take the last-gasp checkpoint — the race detector polices the rest.
+func TestDrainConcurrentPause(t *testing.T) {
+	cfg := testConfig(t.TempDir())
+	d := openTest(t, cfg)
+	ids := []string{
+		submit(t, d, "acme", testSpec(1<<18)).ID,
+		submit(t, d, "acme", testSpec(1<<18)).ID,
+		submit(t, d, "umbrella", testSpec(1<<18)).ID,
+	}
+	// As in TestDrainParksEverything: once every campaign has rounds, the
+	// single worker guarantees some of them sit parked between quanta.
+	for _, id := range ids {
+		waitFor(t, d, id, "progress", func(i *Info) bool { return i.Rounds > 0 })
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			if _, err := d.Pause(ctx, id); err != nil {
+				t.Errorf("Pause(%s): %v", id, err)
+			}
+		}(id)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if err := d.Drain(ctx); err != nil {
+			t.Errorf("Drain: %v", err)
+		}
+	}()
+	wg.Wait()
+
+	for _, id := range ids {
+		info, err := d.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if info.State != StatePaused {
+			t.Errorf("%s ended drain+pause in state %s, want paused", id, info.State)
+		}
+		if _, rounds, err := d.store.loadCheckpoint(id); err != nil {
+			t.Errorf("%s has no loadable checkpoint: %v", id, err)
+		} else if rounds != info.Rounds {
+			t.Errorf("%s checkpoint covers %d rounds but view claims %d", id, rounds, info.Rounds)
+		}
 	}
 }
 

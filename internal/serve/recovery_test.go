@@ -165,6 +165,94 @@ func TestRecoveryRollsBackUncheckpointedRounds(t *testing.T) {
 	}
 }
 
+// TestRecoveryReservesUnloadableIDs pins the ID allocator against stale
+// state: a campaign directory that cannot be loaded (no meta.json — a
+// half-born submission or a torn disk) must still reserve its numeric ID,
+// or the next Submit would re-mint it, adopt the stale directory and
+// resume from another campaign's leftover checkpoints.
+func TestRecoveryReservesUnloadableIDs(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "campaigns", "c000041")
+	if err := os.MkdirAll(stale, 0o755); err != nil {
+		t.Fatalf("mkdir stale dir: %v", err)
+	}
+	// The leftover checkpoint is the dangerous part: an ID collision would
+	// hand this state to a fresh campaign.
+	if err := os.WriteFile(filepath.Join(stale, "chk-00000007.bm"), []byte("stale"), 0o644); err != nil {
+		t.Fatalf("write stale checkpoint: %v", err)
+	}
+
+	d := openTest(t, testConfig(dir))
+	info := submit(t, d, "acme", testSpec(2))
+	if n, ok := parseID(info.ID); !ok || n <= 41 {
+		t.Fatalf("Submit minted %s, want an ID past the unloadable c000041", info.ID)
+	}
+	if info.Rounds != 0 || info.CheckpointRounds != 0 {
+		t.Fatalf("fresh campaign inherited rounds from stale state: %+v", info)
+	}
+	waitFor(t, d, info.ID, "finished", func(i *Info) bool { return i.State == StateFinished })
+}
+
+// TestSubmitRefusesExistingDir: store.create must not adopt a directory it
+// did not make, and the abort path must not delete state it does not own.
+func TestSubmitRefusesExistingDir(t *testing.T) {
+	dir := t.TempDir()
+	d := openTest(t, testConfig(dir))
+	// The daemon will mint c000000 next; squat on it.
+	squat := filepath.Join(dir, "campaigns", "c000000")
+	if err := os.MkdirAll(squat, 0o755); err != nil {
+		t.Fatalf("mkdir squat dir: %v", err)
+	}
+	marker := filepath.Join(squat, "chk-00000009.bm")
+	if err := os.WriteFile(marker, []byte("not yours"), 0o644); err != nil {
+		t.Fatalf("write marker: %v", err)
+	}
+
+	if _, err := d.Submit(context.Background(), SubmitRequest{Tenant: "acme", Spec: testSpec(1)}); err == nil {
+		t.Fatalf("Submit adopted a pre-existing campaign directory")
+	}
+	if got := len(d.List("")); got != 0 {
+		t.Fatalf("failed submission left %d campaigns behind", got)
+	}
+	if _, err := os.Stat(marker); err != nil {
+		t.Fatalf("abort deleted a directory it did not create: %v", err)
+	}
+
+	// The allocator has moved past the collision; submissions recover.
+	info := submit(t, d, "acme", testSpec(1))
+	if info.ID == "c000000" {
+		t.Fatalf("allocator re-minted the squatted ID")
+	}
+}
+
+// TestRecoveryIgnoresCorruptNewestCheckpoint: the recovered round count must
+// come from the newest checkpoint that decodes, not the newest filename, so
+// the public view never promises rounds that materialization would have to
+// walk back.
+func TestRecoveryIgnoresCorruptNewestCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec(10)
+	info, d := runToCompletion(t, testConfig(dir), spec)
+	d.Close()
+
+	// Corrupt the newest checkpoint (round 10); its predecessor (round 9,
+	// kept by the pruner as insurance) remains valid.
+	newest := filepath.Join(dir, "campaigns", info.ID, "chk-00000010.bm")
+	if err := os.WriteFile(newest, []byte("garbage"), 0o644); err != nil {
+		t.Fatalf("corrupt newest checkpoint: %v", err)
+	}
+
+	d2 := openTest(t, testConfig(dir))
+	got, err := d2.Get(info.ID)
+	if err != nil {
+		t.Fatalf("Get after reopen: %v", err)
+	}
+	if got.Rounds != 9 || got.CheckpointRounds != 9 {
+		t.Fatalf("recovered view claims rounds=%d chk=%d, want 9/9 (the newest decodable checkpoint)",
+			got.Rounds, got.CheckpointRounds)
+	}
+}
+
 // TestDrainDuringBackoff: draining while a crashed campaign waits out its
 // backoff must park it as paused, not lose it.
 func TestDrainDuringBackoff(t *testing.T) {

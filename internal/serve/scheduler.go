@@ -419,6 +419,11 @@ func (d *Daemon) Drain(ctx context.Context) error {
 					// checkpoint. Clearing the queues below orphans it from
 					// every worker, so this goroutine now owns the runtime
 					// and takes the last-gasp checkpoint outside the lock.
+					// Flip the state before releasing mu: a concurrent
+					// Pause must see an already-paused campaign, or it
+					// would call pauseNow on the same runtime this
+					// goroutine is about to park.
+					c.state = StatePaused
 					park = append(park, c)
 				} else {
 					c.state = StatePaused

@@ -65,12 +65,22 @@ func (st *store) chkPath(id string, rounds int) string {
 	return filepath.Join(st.dir(id), fmt.Sprintf("%s%08d.bm", chkPrefix, rounds))
 }
 
-// create makes the campaign directory.
+// create makes the campaign directory, refusing to adopt one that already
+// exists: campaign IDs are never re-minted (recovery reserves every on-disk
+// ID, loadable or not), so an existing directory is stale state — reusing it
+// could hand a new campaign another campaign's leftover checkpoints.
 func (st *store) create(id string) error {
-	if err := os.MkdirAll(st.dir(id), 0o755); err != nil {
+	if err := os.Mkdir(st.dir(id), 0o755); err != nil {
 		return fmt.Errorf("serve: create campaign dir: %w", err)
 	}
 	return nil
+}
+
+// remove deletes a campaign directory; Submit uses it to roll back a
+// creation that could not be completed. Best-effort — a leftover directory
+// costs a recovery_skipped event, not wrong state.
+func (st *store) remove(id string) {
+	os.RemoveAll(st.dir(id))
 }
 
 // saveMeta atomically persists the metadata document.
