@@ -259,9 +259,9 @@ func run(args []string) error {
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(stop)
 
-	start := time.Now()
+	start := time.Now() //bigmap:nondeterministic-ok wall-clock campaign timing for the stats banner only
 	runErr := fuzzLoop(f, *execs, *seconds, *chkPath, *chkEvery, *statsEvery, stop)
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //bigmap:nondeterministic-ok wall-clock campaign timing for the stats banner only
 
 	// Stats and the final checkpoint are flushed on the error path too — a
 	// failed or interrupted campaign is exactly when the snapshot matters.
@@ -306,9 +306,9 @@ func fuzzLoop(f *bigmap.Fuzzer, execs uint64, seconds float64, chkPath string, c
 	sinceChk := uint64(0)
 	deadline := time.Time{}
 	if execs == 0 {
-		deadline = time.Now().Add(time.Duration(seconds * float64(time.Second)))
+		deadline = time.Now().Add(time.Duration(seconds * float64(time.Second))) //bigmap:nondeterministic-ok -seconds is a wall-clock budget by definition
 	}
-	loopStart := time.Now()
+	loopStart := time.Now() //bigmap:nondeterministic-ok wall-clock base for periodic stats lines; never persisted
 	var statsTick time.Duration
 	if statsEvery > 0 {
 		statsTick = time.Duration(statsEvery * float64(time.Second))
@@ -320,14 +320,14 @@ func fuzzLoop(f *bigmap.Fuzzer, execs uint64, seconds float64, chkPath string, c
 			return fmt.Errorf("interrupted by %v", sig)
 		default:
 		}
-		if statsTick > 0 && !time.Now().Before(nextStats) {
+		if statsTick > 0 && !time.Now().Before(nextStats) { //bigmap:nondeterministic-ok stats cadence is wall-clock; fuzzing state never reads it
 			st := f.Stats()
-			el := time.Since(loopStart).Seconds()
+			el := time.Since(loopStart).Seconds() //bigmap:nondeterministic-ok elapsed seconds feed the printed execs/s rate only
 			fmt.Fprintf(os.Stderr,
 				"[stats] t=%.0fs execs=%d (%.0f/s) paths=%d edges=%d crashes=%d/%d hangs=%d\n",
 				el, st.Execs, float64(st.Execs)/el, st.Paths, st.EdgesDiscovered,
 				st.UniqueCrashes, st.Crashes, st.Hangs)
-			nextStats = time.Now().Add(statsTick)
+			nextStats = time.Now().Add(statsTick) //bigmap:nondeterministic-ok stats cadence is wall-clock; fuzzing state never reads it
 		}
 		var err error
 		if execs > 0 {
@@ -340,7 +340,7 @@ func fuzzLoop(f *bigmap.Fuzzer, execs uint64, seconds float64, chkPath string, c
 			}
 			err = f.RunExecs(n)
 		} else {
-			remaining := time.Until(deadline)
+			remaining := time.Until(deadline) //bigmap:nondeterministic-ok -seconds deadline check; execution results do not depend on it
 			if remaining <= 0 {
 				return nil
 			}

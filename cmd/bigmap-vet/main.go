@@ -1,6 +1,7 @@
 // Command bigmap-vet runs the repository's invariant analyzers (determinism,
-// kernelparity, codecsymmetry, lockcheck) over the module, multichecker
-// style. It is wired into `make vet` and CI next to `go vet`.
+// kernelparity, codecsymmetry, lockcheck, errdrop, allocfree) over the
+// module, multichecker style. It is wired into `make vet` and CI next to
+// `go vet`.
 //
 // Usage:
 //
@@ -12,44 +13,54 @@
 // loaded package, which is how the analyzers are pointed at external trees
 // and test fixtures.
 //
+// -json replaces the text diagnostics with one machine-readable report
+// (schema analysis.ReportVersion) on stdout, audited (suppressed) sites
+// included; CI archives it as an artifact. The exit code is unchanged:
+// only unsuppressed findings fail the run.
+//
 // Exit codes: 0 clean, 1 diagnostics reported, 2 usage or load failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"github.com/bigmap/bigmap/internal/analysis"
+	"github.com/bigmap/bigmap/internal/analysis/allocfree"
 	"github.com/bigmap/bigmap/internal/analysis/codecsymmetry"
 	"github.com/bigmap/bigmap/internal/analysis/determinism"
+	"github.com/bigmap/bigmap/internal/analysis/errdrop"
 	"github.com/bigmap/bigmap/internal/analysis/kernelparity"
 	"github.com/bigmap/bigmap/internal/analysis/lockcheck"
 )
 
-// scoped pairs an analyzer with the package-path suffixes it applies to by
-// default. An empty scope list means "never by default" (only via -run).
+// scoped pairs an analyzer with the package scopes it applies to by default.
+// A scope is a module-relative path prefix pattern ("internal/..." covers
+// the whole subtree) or a plain path suffix ("internal/core"). An empty
+// scope list means "never by default" (only via -run).
 type scoped struct {
 	analyzer *analysis.Analyzer
 	scope    []string
 }
 
-// analyzers is the bigmap-vet suite. Scopes name the packages whose
-// contracts each analyzer encodes; running them elsewhere would only produce
-// noise (e.g. wall-clock reads are fine in the CLI layer).
+// analyzers is the bigmap-vet suite. The tree-wide analyzers (determinism,
+// lockcheck, allocfree) cover everything they could possibly apply to, so
+// new packages are in scope the day they are created; the remaining scopes
+// name the packages whose contracts the analyzer encodes — running
+// codecsymmetry outside the checkpoint codec would only produce noise.
 var analyzers = []scoped{
-	{determinism.Analyzer, []string{
-		"internal/fuzzer", "internal/checkpoint", "internal/core",
-		"internal/parallel", "internal/mutation", "internal/target",
-		"internal/ensemble", "internal/bench", "internal/telemetry",
-		"internal/serve",
-	}},
+	{determinism.Analyzer, []string{"internal/...", "cmd/..."}},
 	{kernelparity.Analyzer, []string{"internal/core"}},
 	{codecsymmetry.Analyzer, []string{"internal/checkpoint"}},
-	{lockcheck.Analyzer, []string{"internal/parallel", "internal/serve"}},
+	{lockcheck.Analyzer, []string{"internal/..."}},
+	{errdrop.Analyzer, []string{"internal/checkpoint", "internal/serve"}},
+	{allocfree.Analyzer, []string{"internal/...", "cmd/..."}},
 }
 
 func main() {
@@ -61,9 +72,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	flags.SetOutput(stderr)
 	list := flags.Bool("list", false, "list analyzers and their default package scopes, then exit")
 	only := flags.String("run", "", "comma-separated analyzer names to run on every loaded package (overrides default scoping)")
+	jsonOut := flags.Bool("json", false, "emit one JSON diagnostics report on stdout instead of text lines")
+	summarize := flags.String("summarize", "", "validate a previously emitted -json report `file` and print its counts, then exit")
 	verbose := flags.Bool("v", false, "report per-package progress and suppressed-diagnostic counts")
 	if err := flags.Parse(args); err != nil {
 		return 2
+	}
+
+	if *summarize != "" {
+		return summarizeReport(*summarize, stdout, stderr)
 	}
 
 	if *list {
@@ -82,6 +99,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+	forced := *only != ""
 
 	patterns := flags.Args()
 	if len(patterns) == 0 {
@@ -113,9 +131,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
-	exit := 0
+	var all []analysis.Diagnostic
+
+	// Per-package analyzers, with in-package test files included.
 	for _, dir := range dirs {
-		todo := analyzersFor(selected, dir, *only != "")
+		var todo []*analysis.Analyzer
+		for _, s := range selected {
+			if s.analyzer.Run != nil && (forced || inScope(s.scope, dir)) {
+				todo = append(todo, s.analyzer)
+			}
+		}
 		if len(todo) == 0 {
 			continue
 		}
@@ -130,20 +155,127 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stderr, err)
 				return 2
 			}
-			for _, d := range diags {
-				rel, relErr := filepath.Rel(root, d.Pos.Filename)
-				if relErr != nil {
-					rel = d.Pos.Filename
-				}
-				fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
-				exit = 1
-			}
+			all = append(all, diags...)
 			if *verbose {
 				fmt.Fprintf(stderr, "bigmap-vet: %s: %s: %d diagnostics\n", pkg.Path, a.Name, len(diags))
 			}
 		}
 	}
-	return exit
+
+	// Module (interprocedural) analyzers see their whole scope at once,
+	// loaded without test files so cross-package object identities agree.
+	for _, s := range selected {
+		if s.analyzer.RunModule == nil {
+			continue
+		}
+		var pkgs []*analysis.Package
+		for _, dir := range dirs {
+			if !forced && !inScope(s.scope, dir) {
+				continue
+			}
+			pkg, err := mod.LoadDir(dir, false)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 2
+			}
+			pkgs = append(pkgs, pkg)
+		}
+		if len(pkgs) == 0 {
+			continue
+		}
+		diags, err := analysis.RunModule(s.analyzer, pkgs)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		all = append(all, diags...)
+		if *verbose {
+			fmt.Fprintf(stderr, "bigmap-vet: %s: %d packages, %d diagnostics\n", s.analyzer.Name, len(pkgs), len(diags))
+		}
+	}
+
+	sort.SliceStable(all, func(i, j int) bool {
+		a, b := all[i].Pos, all[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+
+	unsuppressed := 0
+	for _, d := range all {
+		if !d.Suppressed {
+			unsuppressed++
+		}
+	}
+
+	if *jsonOut {
+		names := make([]string, 0, len(selected))
+		for _, s := range selected {
+			names = append(names, s.analyzer.Name)
+		}
+		report := analysis.NewReport(mod.Path, root, names, all)
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+	} else {
+		for _, d := range all {
+			if d.Suppressed {
+				continue
+			}
+			rel, relErr := filepath.Rel(root, d.Pos.Filename)
+			if relErr != nil {
+				rel = d.Pos.Filename
+			}
+			fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", rel, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+		}
+	}
+	if *verbose {
+		fmt.Fprintf(stderr, "bigmap-vet: %d findings, %d audited (suppressed)\n", unsuppressed, len(all)-unsuppressed)
+	}
+	if unsuppressed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// summarizeReport decodes and schema-validates a -json report file, prints
+// one line per unsuppressed finding plus the totals, and exits with the same
+// convention as an analysis run: 0 clean, 1 findings, 2 unreadable/invalid.
+// CI uses it to turn the archived artifact back into log output.
+func summarizeReport(path string, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "bigmap-vet: %v\n", err)
+		return 2
+	}
+	report, err := analysis.DecodeReport(data)
+	if err != nil {
+		fmt.Fprintf(stderr, "bigmap-vet: %s: %v\n", path, err)
+		return 2
+	}
+	if err := report.Validate(); err != nil {
+		fmt.Fprintf(stderr, "bigmap-vet: %s: %v\n", path, err)
+		return 2
+	}
+	for _, d := range report.Diagnostics {
+		if d.Suppressed {
+			continue
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: [%s] %s\n", d.File, d.Line, d.Column, d.Analyzer, d.Message)
+	}
+	fmt.Fprintf(stdout, "bigmap-vet: %s: %d findings, %d audited (suppressed) across %s\n",
+		report.Module, report.Unsuppressed, report.Suppressed, strings.Join(report.Analyzers, ", "))
+	if report.Unsuppressed > 0 {
+		return 1
+	}
+	return 0
 }
 
 // selectAnalyzers parses the -run list; empty means all (scoped).
@@ -167,22 +299,20 @@ func selectAnalyzers(only string) ([]scoped, error) {
 	return out, nil
 }
 
-// analyzersFor picks the analyzers that apply to a module-relative package
-// directory: every selected one when -run forced the set, otherwise those
-// whose scope suffix-matches the directory.
-func analyzersFor(selected []scoped, dir string, forced bool) []*analysis.Analyzer {
-	var out []*analysis.Analyzer
-	for _, s := range selected {
-		if forced {
-			out = append(out, s.analyzer)
+// inScope reports whether a module-relative package directory falls under
+// one of the scope patterns: "prefix/..." covers the subtree rooted at
+// prefix, a plain path matches as before by exact value or suffix.
+func inScope(scope []string, dir string) bool {
+	for _, pat := range scope {
+		if prefix, ok := strings.CutSuffix(pat, "/..."); ok {
+			if dir == prefix || strings.HasPrefix(dir, prefix+"/") {
+				return true
+			}
 			continue
 		}
-		for _, suffix := range s.scope {
-			if dir == suffix || strings.HasSuffix(dir, "/"+suffix) {
-				out = append(out, s.analyzer)
-				break
-			}
+		if dir == pat || strings.HasSuffix(dir, "/"+pat) {
+			return true
 		}
 	}
-	return out
+	return false
 }

@@ -2,9 +2,15 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
 	"path/filepath"
+	"reflect"
+	"slices"
 	"strings"
 	"testing"
+
+	"github.com/bigmap/bigmap/internal/analysis"
 )
 
 // vet invokes the driver in-process and returns (exit code, stdout, stderr).
@@ -97,5 +103,117 @@ func TestRepoTreeIsClean(t *testing.T) {
 	code, stdout, stderr := vet(t, root+"/...")
 	if code != 0 {
 		t.Fatalf("bigmap-vet over the repo tree: exit %d\nstdout:\n%s\nstderr:\n%s", code, stdout, stderr)
+	}
+}
+
+// TestJSONReportRoundTrips pins the -json contract: the emitted bytes decode
+// through analysis.DecodeReport (which rejects unknown fields), validate
+// against the schema, and carry both the live and the audited finding of the
+// dirty fixture — suppressed sites are part of the artifact, only the exit
+// code ignores them.
+func TestJSONReportRoundTrips(t *testing.T) {
+	code, stdout, stderr := vet(t, "-json", "-run", "determinism", "testdata/dirty/...")
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr %q)", code, stderr)
+	}
+	report, err := analysis.DecodeReport([]byte(stdout))
+	if err != nil {
+		t.Fatalf("DecodeReport: %v\noutput:\n%s", err, stdout)
+	}
+	if err := report.Validate(); err != nil {
+		t.Fatalf("Validate: %v\noutput:\n%s", err, stdout)
+	}
+	if report.Module != "dirtymod" {
+		t.Errorf("Module = %q, want the fixture module path", report.Module)
+	}
+	if got, want := report.Analyzers, []string{"determinism"}; !slices.Equal(got, want) {
+		t.Errorf("Analyzers = %v, want %v", got, want)
+	}
+	if report.Unsuppressed != 1 || report.Suppressed != 1 {
+		t.Errorf("counts = %d unsuppressed, %d suppressed; want 1 and 1\noutput:\n%s",
+			report.Unsuppressed, report.Suppressed, stdout)
+	}
+	var live, audited *analysis.ReportDiagnostic
+	for i := range report.Diagnostics {
+		d := &report.Diagnostics[i]
+		if d.Suppressed {
+			audited = d
+		} else {
+			live = d
+		}
+	}
+	if live == nil || audited == nil {
+		t.Fatalf("want one live and one audited diagnostic, got %+v", report.Diagnostics)
+	}
+	if live.File != "clock/clock.go" {
+		t.Errorf("live finding file = %q, want module-relative slash path", live.File)
+	}
+	if audited.Analyzer != "determinism" || !strings.Contains(audited.Message, "time.Now") {
+		t.Errorf("audited finding = %+v, want a determinism time.Now diagnostic", audited)
+	}
+
+	// The report must round-trip: re-encoding and re-decoding preserves it.
+	again, err := json.Marshal(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := analysis.DecodeReport(again)
+	if err != nil {
+		t.Fatalf("re-decode: %v", err)
+	}
+	if !reflect.DeepEqual(report, back) {
+		t.Errorf("report did not survive a marshal/decode cycle:\nfirst:  %+v\nsecond: %+v", report, back)
+	}
+}
+
+// TestSummarizeReportFile pins the artifact consumer: -summarize re-reads a
+// -json report, prints the live findings plus totals, and reproduces the
+// original exit code; a corrupted artifact exits 2.
+func TestSummarizeReportFile(t *testing.T) {
+	code, stdout, _ := vet(t, "-json", "-run", "determinism", "testdata/dirty/...")
+	if code != 1 {
+		t.Fatalf("producing the report: exit %d, want 1", code)
+	}
+	path := filepath.Join(t.TempDir(), "vet-report.json")
+	if err := os.WriteFile(path, []byte(stdout), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, sum, stderr := vet(t, "-summarize", path)
+	if code != 1 {
+		t.Fatalf("-summarize exit = %d, want 1 (stderr %q)", code, stderr)
+	}
+	if !strings.Contains(sum, "clock/clock.go") || !strings.Contains(sum, "1 findings, 1 audited") {
+		t.Errorf("summary output missing finding or counts:\n%s", sum)
+	}
+
+	if err := os.WriteFile(path, []byte(`{"version": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := vet(t, "-summarize", path); code != 2 || !strings.Contains(stderr, "version") {
+		t.Errorf("bad-version artifact: exit %d, stderr %q; want 2 and a schema error", code, stderr)
+	}
+}
+
+// TestJSONCleanReportValidates covers the empty-diagnostics shape CI archives
+// on a green run: diagnostics must be an empty array, not null, and the
+// report must still validate.
+func TestJSONCleanReportValidates(t *testing.T) {
+	code, stdout, stderr := vet(t, "-json", "-run", "determinism", "testdata/clean/...")
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr %q)", code, stderr)
+	}
+	if !strings.Contains(stdout, `"diagnostics": []`) {
+		t.Errorf("clean report should encode diagnostics as an empty array:\n%s", stdout)
+	}
+	report, err := analysis.DecodeReport([]byte(stdout))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if report.Unsuppressed != 0 || report.Suppressed != 0 || len(report.Diagnostics) != 0 {
+		t.Errorf("clean run produced findings: %+v", report)
 	}
 }

@@ -1,0 +1,304 @@
+// Package allocfree is the interprocedural hot-path allocation analyzer:
+// the compile-time counterpart of the runtime zero-alloc benchmarks
+// (TestExecLoopZeroAllocs*). Functions annotated
+//
+//	//bigmap:hotpath <what makes this hot>
+//
+// in their doc comment are roots. The analyzer builds the module call graph
+// (package callgraph) and reports every allocation site in every function
+// reachable from a root:
+//
+//   - make and new
+//   - append (may grow the backing array)
+//   - string concatenation (+ / +=) and string<->[]byte/[]rune conversions
+//   - map and slice composite literals, and &composite (may escape)
+//   - interface boxing: a non-pointer-shaped concrete value passed to an
+//     interface parameter
+//   - variadic calls that materialize their argument slice
+//   - fmt.* calls (always allocate via their ...any signature)
+//   - escaping closures and bound method values
+//   - go statements (a goroutine allocates its stack)
+//
+// A site that is deliberate — amortized growth, cold error paths behind a
+// crash verdict — is audited in place with //bigmap:alloc-ok <why>. The
+// analyzer is deliberately stricter than the compiler's escape analysis:
+// it cannot prove a &T{} stays on the stack, so it asks for an audit
+// instead. Reachability limits (what the graph can and cannot resolve) are
+// documented in package callgraph and DESIGN §15.
+package allocfree
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"github.com/bigmap/bigmap/internal/analysis"
+	"github.com/bigmap/bigmap/internal/analysis/callgraph"
+)
+
+// HotpathDirective marks a root function's doc comment.
+const HotpathDirective = "hotpath"
+
+// Analyzer reports allocation sites reachable from //bigmap:hotpath roots.
+var Analyzer = &analysis.Analyzer{
+	Name:      "allocfree",
+	Doc:       "report allocation sites reachable from //bigmap:hotpath functions",
+	Directive: "alloc-ok",
+	RunModule: run,
+}
+
+func run(pass *analysis.ModulePass) error {
+	g := callgraph.Build(pass.Packages)
+	roots := g.FuncsWithDirective(HotpathDirective)
+	if len(roots) == 0 {
+		return nil
+	}
+	parents := g.Reachable(roots)
+	for _, n := range g.Nodes {
+		if _, ok := parents[n]; !ok {
+			continue
+		}
+		check(pass, n, rootOf(parents, n))
+	}
+	return nil
+}
+
+func rootOf(parents map[*callgraph.Node]*callgraph.Node, n *callgraph.Node) *callgraph.Node {
+	path := callgraph.PathTo(parents, n)
+	if len(path) == 0 {
+		return n
+	}
+	return path[0]
+}
+
+type checker struct {
+	pass *analysis.ModulePass
+	node *callgraph.Node
+	root *callgraph.Node
+	info *types.Info
+
+	// calleePos holds expressions in call position (the Fun of a call),
+	// so function references elsewhere count as escaping values.
+	calleePos map[ast.Expr]bool
+	// localLits maps a function literal to the local variable it is
+	// assigned to with :=, the one non-escaping store shape recognized.
+	localLits map[*ast.FuncLit]types.Object
+}
+
+func check(pass *analysis.ModulePass, n *callgraph.Node, root *callgraph.Node) {
+	body := n.Body()
+	if body == nil {
+		return
+	}
+	c := &checker{
+		pass:      pass,
+		node:      n,
+		root:      root,
+		info:      n.Pkg.Info,
+		calleePos: make(map[ast.Expr]bool),
+		localLits: make(map[*ast.FuncLit]types.Object),
+	}
+	c.prescan(body)
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch e := node.(type) {
+		case *ast.FuncLit:
+			if e != n.Lit && c.litEscapes(body, e) {
+				c.report(e.Pos(), "closure escapes to the heap")
+			}
+			return false // the literal's body is its own graph node
+		case *ast.CallExpr:
+			c.checkCall(e)
+		case *ast.BinaryExpr:
+			if tv := c.info.Types[e]; e.Op == token.ADD && tv.Value == nil && isString(tv.Type) {
+				c.report(e.OpPos, "string concatenation allocates")
+			}
+		case *ast.AssignStmt:
+			if e.Tok == token.ADD_ASSIGN && len(e.Lhs) == 1 && isString(c.info.Types[e.Lhs[0]].Type) {
+				c.report(e.TokPos, "string concatenation allocates")
+			}
+		case *ast.CompositeLit:
+			switch typeUnder(c.info.Types[e].Type).(type) {
+			case *types.Map:
+				c.report(e.Pos(), "map literal allocates")
+			case *types.Slice:
+				c.report(e.Pos(), "slice literal allocates")
+			}
+		case *ast.UnaryExpr:
+			if e.Op == token.AND {
+				if _, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+					c.report(e.Pos(), "address of composite literal may escape to the heap")
+				}
+			}
+		case *ast.SelectorExpr:
+			if !c.calleePos[e] {
+				if sel, ok := c.info.Selections[e]; ok && sel.Kind() == types.MethodVal {
+					c.report(e.Pos(), "bound method value allocates a closure")
+				}
+			}
+		case *ast.GoStmt:
+			c.report(e.Pos(), "go statement allocates a goroutine")
+		}
+		return true
+	})
+}
+
+func (c *checker) report(pos token.Pos, what string) {
+	c.pass.Reportf(pos, "%s in %s, reachable from //bigmap:hotpath %s", what, c.node.Name(), c.root.Name())
+}
+
+// prescan records which expressions occupy call position.
+func (c *checker) prescan(body ast.Node) {
+	ast.Inspect(body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			if as, ok := node.(*ast.AssignStmt); ok && as.Tok == token.DEFINE && len(as.Lhs) == len(as.Rhs) {
+				for i := range as.Lhs {
+					lit, ok := ast.Unparen(as.Rhs[i]).(*ast.FuncLit)
+					if !ok {
+						continue
+					}
+					if id, ok := as.Lhs[i].(*ast.Ident); ok {
+						if obj := c.info.Defs[id]; obj != nil {
+							c.localLits[lit] = obj
+						}
+					}
+				}
+			}
+			return true
+		}
+		fun := ast.Unparen(call.Fun)
+		c.calleePos[fun] = true
+		if sel, ok := fun.(*ast.SelectorExpr); ok {
+			c.calleePos[sel.Sel] = true
+		}
+		return true
+	})
+}
+
+// litEscapes reports whether a function literal's value outlives the
+// statement creating it: anything but an immediate call or a := binding to
+// a local used only in call position counts as escaping.
+func (c *checker) litEscapes(body ast.Node, lit *ast.FuncLit) bool {
+	if c.calleePos[lit] {
+		return false // immediately invoked: func(){...}()
+	}
+	obj, ok := c.localLits[lit]
+	if !ok {
+		return true // passed, stored, or returned
+	}
+	escapes := false
+	ast.Inspect(body, func(node ast.Node) bool {
+		id, ok := node.(*ast.Ident)
+		if !ok || c.info.Uses[id] != obj {
+			return true
+		}
+		if !c.calleePos[id] {
+			escapes = true
+		}
+		return true
+	})
+	return escapes
+}
+
+func (c *checker) checkCall(call *ast.CallExpr) {
+	info := c.info
+	// Conversions: only the string<->byte/rune-slice shapes copy.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) != 1 {
+			return
+		}
+		to, from := tv.Type, info.Types[call.Args[0]].Type
+		switch {
+		case isString(to) && isByteOrRuneSlice(from):
+			c.report(call.Pos(), "conversion to string allocates")
+		case isByteOrRuneSlice(to) && isString(from):
+			c.report(call.Pos(), "conversion from string allocates")
+		}
+		return
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if bi, ok := info.Uses[id].(*types.Builtin); ok {
+			switch bi.Name() {
+			case "make":
+				c.report(call.Pos(), "make allocates")
+			case "new":
+				c.report(call.Pos(), "new allocates")
+			case "append":
+				c.report(call.Pos(), "append may grow its backing array")
+			}
+			return
+		}
+	}
+	// fmt.* always allocates through its ...any signature.
+	if pkg, fn := analysis.CalleePkgFunc(info, call); pkg == "fmt" {
+		c.report(call.Pos(), fmt.Sprintf("fmt.%s allocates", fn))
+		return
+	}
+	sig, ok := typeUnder(info.Types[call.Fun].Type).(*types.Signature)
+	if !ok {
+		return
+	}
+	// A variadic call with arguments materializes a slice unless it spreads
+	// an existing one with ... .
+	if sig.Variadic() && !call.Ellipsis.IsValid() && len(call.Args) >= sig.Params().Len() {
+		c.report(call.Pos(), "variadic call allocates its argument slice")
+	}
+	// Interface boxing at the call boundary: a concrete non-pointer-shaped
+	// argument passed to an interface parameter is heap-boxed.
+	fixed := sig.Params().Len()
+	if sig.Variadic() {
+		fixed--
+	}
+	for i := 0; i < len(call.Args) && i < fixed; i++ {
+		param := sig.Params().At(i).Type()
+		if !types.IsInterface(typeUnder(param)) {
+			continue
+		}
+		arg := info.Types[call.Args[i]].Type
+		if arg == nil || types.IsInterface(typeUnder(arg)) || pointerShaped(arg) || isUntypedNil(arg) {
+			continue
+		}
+		c.report(call.Args[i].Pos(), fmt.Sprintf("passing %s as %s boxes into an interface", arg, param))
+	}
+}
+
+func isString(t types.Type) bool {
+	b, ok := typeUnder(t).(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := typeUnder(t).(*types.Slice)
+	if !ok {
+		return false
+	}
+	e, ok := typeUnder(s.Elem()).(*types.Basic)
+	return ok && (e.Kind() == types.Byte || e.Kind() == types.Rune)
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// pointerShaped reports whether values of t fit an interface word without a
+// heap box: pointers, channels, maps, funcs and unsafe pointers. Slices,
+// strings, structs and scalars all copy to the heap when boxed.
+func pointerShaped(t types.Type) bool {
+	switch u := typeUnder(t).(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func typeUnder(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}

@@ -1,0 +1,12 @@
+package allocfree_test
+
+import (
+	"testing"
+
+	"github.com/bigmap/bigmap/internal/analysis/allocfree"
+	"github.com/bigmap/bigmap/internal/analysis/analysistest"
+)
+
+func TestAllocFree(t *testing.T) {
+	analysistest.RunModule(t, "testdata", allocfree.Analyzer, "dep", "hot")
+}

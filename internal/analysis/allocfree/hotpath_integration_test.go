@@ -1,0 +1,85 @@
+package allocfree_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/bigmap/bigmap/internal/analysis"
+	"github.com/bigmap/bigmap/internal/analysis/callgraph"
+)
+
+// execLoopFunctions names every function the steady-state loop of
+// internal/executor's TestExecLoopZeroAllocs executes: reset the map, run the
+// input through the interpreter and the batch tracer, then classify and
+// compare against virgin. The zero-allocs guard proves this loop does not
+// allocate at run time; this test proves the same loop is inside the
+// allocfree analyzer's net, i.e. every one of these functions is reachable
+// from a //bigmap:hotpath root in the real call graph. If a refactor detaches
+// one of them (say, a new indirection the graph cannot see through), the
+// analyzer would silently stop checking it — this test turns that silence
+// into a failure.
+var execLoopFunctions = []string{
+	// Per-iteration pipeline driven by the test body.
+	"(*github.com/bigmap/bigmap/internal/core.BigMap).Reset",
+	"(*github.com/bigmap/bigmap/internal/executor.Executor).Execute",
+	"(*github.com/bigmap/bigmap/internal/core.BigMap).ClassifyAndCompare",
+	// Inside Execute: metric reset, target run, trace delivery, map fill.
+	"(*github.com/bigmap/bigmap/internal/core.EdgeMetric).Begin",
+	"(*github.com/bigmap/bigmap/internal/target.Interp).Run",
+	"(*github.com/bigmap/bigmap/internal/executor.mapTracer).VisitBatch",
+	"(*github.com/bigmap/bigmap/internal/executor.mapTracer).flush",
+	"(*github.com/bigmap/bigmap/internal/core.EdgeMetric).Visit",
+	"(*github.com/bigmap/bigmap/internal/core.BigMap).AddBatch",
+	// Call events: the generated program has calls, so the tracer relays
+	// them to the metric.
+	"(*github.com/bigmap/bigmap/internal/executor.mapTracer).EnterCall",
+	"(*github.com/bigmap/bigmap/internal/executor.mapTracer).LeaveCall",
+	"(*github.com/bigmap/bigmap/internal/core.EdgeMetric).EnterCall",
+	"(*github.com/bigmap/bigmap/internal/core.EdgeMetric).LeaveCall",
+	// The merged word-level kernel behind ClassifyAndCompare.
+	"github.com/bigmap/bigmap/internal/core.classifyCompareRegion",
+}
+
+// TestExecLoopIsCoveredByHotpathRoots builds the call graph over the real
+// module and asserts every function in execLoopFunctions is reachable from a
+// //bigmap:hotpath root. Skipped in -short mode: it type-checks four real
+// packages.
+func TestExecLoopIsCoveredByHotpathRoots(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real-module call-graph build skipped in -short mode")
+	}
+	root, err := filepath.Abs("../../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := analysis.LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkgs []*analysis.Package
+	for _, dir := range []string{"internal/core", "internal/target", "internal/executor", "internal/telemetry"} {
+		pkg, err := mod.LoadDir(dir, false)
+		if err != nil {
+			t.Fatalf("loading %s: %v", dir, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	g := callgraph.Build(pkgs)
+
+	roots := g.FuncsWithDirective("hotpath")
+	if len(roots) == 0 {
+		t.Fatal("no //bigmap:hotpath roots found in internal/core, internal/target, internal/executor, internal/telemetry")
+	}
+	parents := g.Reachable(roots)
+
+	for _, name := range execLoopFunctions {
+		node := g.Lookup(name)
+		if node == nil {
+			t.Errorf("function %s is not in the call graph (renamed or removed? update execLoopFunctions)", name)
+			continue
+		}
+		if _, ok := parents[node]; !ok {
+			t.Errorf("%s executes in the zero-allocs loop but is not reachable from any //bigmap:hotpath root", name)
+		}
+	}
+}

@@ -1,0 +1,9 @@
+// Package dep pins cross-package reachability: hot.Root calls Far, so its
+// allocation is reported even though no root lives in this package.
+package dep
+
+// Far is reached cross-package from hot.Root.
+func Far(n int) {
+	buf := make([]byte, n) // want "make allocates"
+	_ = buf
+}

@@ -1,0 +1,3 @@
+module alloctest
+
+go 1.22

@@ -1,0 +1,117 @@
+// Package hot exercises the allocfree allocation taxonomy: every reachable
+// allocation shape is flagged, audited sites are suppressed, and functions
+// outside the hot region stay silent.
+package hot
+
+import (
+	"fmt"
+
+	"alloctest/dep"
+)
+
+// Sink is dispatched through by Root; (*box).Emit becomes hot via the
+// interface edge.
+type Sink interface{ Emit(int) }
+
+type box struct{ n int }
+
+func (b *box) Emit(v int) {
+	b.n = v
+	grow(v)
+}
+
+type loop struct {
+	cb func(int) // devirtualized callback, set once below
+}
+
+func (l *loop) run(v int) { l.cb(v) }
+
+// Root is the analyzer's root: everything reachable from here is checked.
+//
+//bigmap:hotpath testdata root
+func Root(s Sink, n int) {
+	s.Emit(n)
+	l := loop{cb: step}
+	l.run(n)
+	dep.Far(n)
+	audited(n)
+	closures(n)
+	boxing(n)
+	variadic(n)
+	logf(n)
+	spawn(n)
+}
+
+func step(v int) {
+	m := make([]byte, v) // want "make allocates"
+	_ = m
+	p := new(int) // want "new allocates"
+	_ = p
+}
+
+func grow(v int) {
+	var s []int
+	s = append(s, v) // want "append may grow its backing array"
+	_ = s
+	var buf []byte
+	name := string(buf) // want "conversion to string allocates"
+	bs := []byte(name)  // want "conversion from string allocates"
+	name += "!"         // want "string concatenation allocates"
+	two := name + name  // want "string concatenation allocates"
+	_, _ = bs, two
+	m := map[int]int{} // want "map literal allocates"
+	_ = m
+	sl := []int{1, 2} // want "slice literal allocates"
+	_ = sl
+	bp := &box{} // want "address of composite literal may escape"
+	_ = bp
+}
+
+// audited shows a justified suppression: flagged, silenced, no want.
+func audited(n int) {
+	buf := make([]byte, n) //bigmap:alloc-ok testdata audited amortized growth
+	_ = buf
+}
+
+func closures(v int) {
+	f := func(x int) { _ = x } // local and only ever called: no report
+	f(v)
+	g := func(x int) { _ = x } // want "closure escapes to the heap"
+	use(g)
+	func() {}() // immediately invoked: no report
+	h := step   // a declared function used as a value does not allocate
+	h(v)
+	b := &box{}  //bigmap:alloc-ok testdata audited receiver setup
+	b.n = v      // spacer: a directive also covers the line directly below it
+	mv := b.Emit // want "bound method value allocates a closure"
+	mv(v)
+}
+
+func use(fn func(int)) { fn(0) }
+
+func boxing(v int) {
+	sinkAny(v)  // want "boxes into an interface"
+	sinkAny(&v) // pointers fit the interface word: no report
+}
+
+func sinkAny(x interface{}) { _ = x }
+
+func variadic(v int) {
+	many(v, v)       // want "variadic call allocates its argument slice"
+	many()           // zero variadic arguments pass nil: no report
+	vals := []int{9} // want "slice literal allocates"
+	many(vals...)    // spreading an existing slice: no report
+}
+
+func many(xs ...int) { _ = xs }
+
+func logf(v int) {
+	fmt.Println(v) // want "fmt.Println allocates"
+}
+
+func spawn(v int) {
+	go step(v) // want "go statement allocates a goroutine"
+}
+
+// Cold is unreachable from any root: its allocation is not reported.
+func Cold() []byte { return make([]byte, 1) }

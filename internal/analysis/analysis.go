@@ -16,10 +16,17 @@
 //	//bigmap:nondeterministic-ok <why>
 //
 // on the offending line, or on a line by itself directly above it, suppresses
-// that analyzer's diagnostics for the line. The framework applies suppression
-// centrally in Pass.Report, so analyzers just report every violation they
-// see; audited sites stay visible (and greppable) in the source instead of
-// disappearing into a config file.
+// that analyzer's diagnostics for the line. The <why> justification is
+// mandatory: a bare directive with no text does not suppress, so every
+// audited site carries its reasoning in the source. The framework applies
+// suppression centrally in Pass.Report, so analyzers just report every
+// violation they see; audited sites stay visible (and greppable) in the
+// source instead of disappearing into a config file.
+//
+// Two analyzer shapes exist. Run analyzers inspect one package at a time
+// (the x/tools unit of work). RunModule analyzers are interprocedural: they
+// receive every loaded package at once through a ModulePass, which is how
+// the call-graph-based checkers (allocfree) see across package boundaries.
 package analysis
 
 import (
@@ -45,7 +52,11 @@ type Analyzer struct {
 	// "nondeterministic-ok". Empty means the analyzer cannot be suppressed.
 	Directive string
 	// Run inspects one package and reports violations via pass.Report.
+	// Exactly one of Run and RunModule must be set.
 	Run func(pass *Pass) error
+	// RunModule inspects every loaded package at once — the interprocedural
+	// analyzer shape. Exactly one of Run and RunModule must be set.
+	RunModule func(pass *ModulePass) error
 }
 
 // Diagnostic is one reported violation.
@@ -53,6 +64,11 @@ type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	// Suppressed marks a diagnostic silenced by an audited (justified)
+	// //bigmap:<directive> comment. Suppressed diagnostics never fail a vet
+	// run; they are retained so machine-readable output can account for
+	// every audited site.
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {
@@ -87,15 +103,18 @@ func (p *Pass) IsTestFile(f *ast.File) bool {
 	return strings.HasSuffix(p.Fset.Position(f.Package).Filename, "_test.go")
 }
 
-// Reportf reports a violation at pos unless the line (or the line above it)
-// carries the analyzer's suppression directive.
+// Reportf reports a violation at pos. When the line (or the line above it)
+// carries the analyzer's suppression directive with a justification, the
+// diagnostic is recorded with Suppressed set instead of being dropped, so
+// sinks that account for audited sites (the -json report) still see it.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 	position := p.Fset.Position(pos)
+	d := Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)}
 	if p.suppressedAt(position) {
 		p.suppressed++
-		return
+		d.Suppressed = true
 	}
-	p.report(Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+	p.report(d)
 }
 
 // Suppressed returns how many diagnostics the pass silenced via directives.
@@ -113,7 +132,8 @@ func (p *Pass) suppressedAt(pos token.Position) bool {
 }
 
 // collectDirectives finds every line carrying //bigmap:<directive> in the
-// given files. The directive may be followed by free-form justification text.
+// given files. Only directives followed by free-form justification text
+// count: a bare directive is not an audit, so it suppresses nothing.
 func collectDirectives(fset *token.FileSet, files []*ast.File, directive string) map[string]map[int]bool {
 	want := DirectivePrefix + directive
 	out := make(map[string]map[int]bool)
@@ -122,7 +142,8 @@ func collectDirectives(fset *token.FileSet, files []*ast.File, directive string)
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
 				text = strings.TrimSpace(text)
-				if text != want && !strings.HasPrefix(text, want+" ") {
+				rest, ok := strings.CutPrefix(text, want+" ")
+				if !ok || strings.TrimSpace(rest) == "" {
 					continue
 				}
 				pos := fset.Position(c.Pos())
@@ -139,8 +160,13 @@ func collectDirectives(fset *token.FileSet, files []*ast.File, directive string)
 }
 
 // Run applies one analyzer to one loaded package and returns its diagnostics
-// sorted by position.
+// sorted by position. Suppressed (audited) diagnostics are included with
+// their Suppressed flag set; callers that only act on violations filter with
+// d.Suppressed.
 func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
+	if a.Run == nil {
+		return nil, fmt.Errorf("analysis: %s is a module analyzer; use RunModule", a.Name)
+	}
 	var diags []Diagnostic
 	pass := &Pass{
 		Analyzer: a,
@@ -153,6 +179,11 @@ func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 	if err := a.Run(pass); err != nil {
 		return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
 	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
@@ -163,6 +194,76 @@ func Run(a *Analyzer, pkg *Package) ([]Diagnostic, error) {
 		}
 		return a.Column < b.Column
 	})
+}
+
+// ModulePass carries every loaded package through one interprocedural
+// analyzer. Suppression works as for Pass, with directives collected from
+// all files of all packages.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Packages holds every loaded package, in load order. Cross-package
+	// object identities are consistent: the loader resolves module-internal
+	// imports to the same type-checked packages listed here.
+	Packages []*Package
+
+	report     func(Diagnostic)
+	suppressed int
+	directives map[string]map[int]bool
+}
+
+// Reportf reports a violation at pos, applying the analyzer's suppression
+// directive as Pass.Reportf does.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	d := Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)}
+	if p.suppressedAt(position) {
+		p.suppressed++
+		d.Suppressed = true
+	}
+	p.report(d)
+}
+
+// Suppressed returns how many diagnostics the pass silenced via directives.
+func (p *ModulePass) Suppressed() int { return p.suppressed }
+
+func (p *ModulePass) suppressedAt(pos token.Position) bool {
+	if p.Analyzer.Directive == "" {
+		return false
+	}
+	if p.directives == nil {
+		p.directives = make(map[string]map[int]bool)
+		for _, pkg := range p.Packages {
+			for file, lines := range collectDirectives(p.Fset, pkg.Files, p.Analyzer.Directive) {
+				p.directives[file] = lines
+			}
+		}
+	}
+	lines := p.directives[pos.Filename]
+	return lines[pos.Line] || lines[pos.Line-1]
+}
+
+// RunModule applies one interprocedural analyzer to a set of loaded packages
+// and returns its diagnostics sorted by position, suppressed ones included
+// (as in Run).
+func RunModule(a *Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	if a.RunModule == nil {
+		return nil, fmt.Errorf("analysis: %s is a per-package analyzer; use Run", a.Name)
+	}
+	if len(pkgs) == 0 {
+		return nil, nil
+	}
+	var diags []Diagnostic
+	pass := &ModulePass{
+		Analyzer: a,
+		Fset:     pkgs[0].Fset,
+		Packages: pkgs,
+		report:   func(d Diagnostic) { diags = append(diags, d) },
+	}
+	if err := a.RunModule(pass); err != nil {
+		return nil, fmt.Errorf("%s: %w", a.Name, err)
+	}
+	sortDiagnostics(diags)
 	return diags, nil
 }
 

@@ -1,0 +1,130 @@
+package callgraph_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/bigmap/bigmap/internal/analysis"
+	"github.com/bigmap/bigmap/internal/analysis/callgraph"
+)
+
+func buildTestGraph(t *testing.T) *callgraph.Graph {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod, err := analysis.LoadModule(dir)
+	if err != nil {
+		t.Fatalf("loading testdata module: %v", err)
+	}
+	var pkgs []*analysis.Package
+	for _, rel := range []string{"a", "b"} {
+		pkg, err := mod.LoadDir(rel, false)
+		if err != nil {
+			t.Fatalf("loading %s: %v", rel, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return callgraph.Build(pkgs)
+}
+
+// edge reports whether the graph has an edge from→to, optionally of a
+// specific kind (pass -1 to accept any).
+func edge(t *testing.T, g *callgraph.Graph, from, to string, kind int) bool {
+	t.Helper()
+	n := g.Lookup(from)
+	if n == nil {
+		t.Fatalf("no node named %q", from)
+	}
+	for _, e := range n.Out {
+		if e.Callee.Name() == to && (kind < 0 || int(e.Kind) == kind) {
+			return true
+		}
+	}
+	return false
+}
+
+func wantEdge(t *testing.T, g *callgraph.Graph, from, to string, kind callgraph.EdgeKind) {
+	t.Helper()
+	if !edge(t, g, from, to, int(kind)) {
+		t.Errorf("missing %s edge %s -> %s", kind, from, to)
+	}
+}
+
+func TestStaticAndRecursiveEdges(t *testing.T) {
+	g := buildTestGraph(t)
+	wantEdge(t, g, "graphtest/b.Loop", "graphtest/b.Loop", callgraph.EdgeStatic)
+	wantEdge(t, g, "graphtest/b.Loop", "graphtest/a.Helper", callgraph.EdgeStatic)
+	wantEdge(t, g, "graphtest/b.Dispatch", "graphtest/a.Use", callgraph.EdgeStatic)
+}
+
+func TestInterfaceDispatchBoundedByImplementations(t *testing.T) {
+	g := buildTestGraph(t)
+	wantEdge(t, g, "graphtest/a.Use", "(graphtest/a.Console).Emit", callgraph.EdgeInterface)
+	wantEdge(t, g, "graphtest/a.Use", "(*graphtest/a.Ring).Emit", callgraph.EdgeInterface)
+	// No spurious interface edges to unrelated functions.
+	if edge(t, g, "graphtest/a.Use", "graphtest/b.step", -1) {
+		t.Errorf("interface call must not edge to non-implementations")
+	}
+}
+
+func TestFunctionValuedFieldDevirtualizes(t *testing.T) {
+	g := buildTestGraph(t)
+	// step flowed into the cb field via a composite literal in New; the
+	// field call in Drive must resolve to it precisely (no fallback).
+	wantEdge(t, g, "(*graphtest/b.engine).Drive", "graphtest/b.step", callgraph.EdgeFuncValue)
+}
+
+func TestArgumentToParameterFlow(t *testing.T) {
+	g := buildTestGraph(t)
+	wantEdge(t, g, "graphtest/b.Caller", "graphtest/b.Param", callgraph.EdgeStatic)
+	wantEdge(t, g, "graphtest/b.Param", "graphtest/b.step", callgraph.EdgeFuncValue)
+}
+
+func TestClosureNodesAndCalls(t *testing.T) {
+	g := buildTestGraph(t)
+	wantEdge(t, g, "graphtest/b.Closure", "graphtest/b.Closure$1", callgraph.EdgeFuncValue)
+	wantEdge(t, g, "graphtest/b.Closure$1", "graphtest/b.step", callgraph.EdgeStatic)
+}
+
+func TestSignatureFallbackForUntrackedValues(t *testing.T) {
+	g := buildTestGraph(t)
+	// handlers[0](4): the slice element is untracked, so the call links to
+	// every address-taken func(int) — step among them.
+	wantEdge(t, g, "graphtest/b.Fallback", "graphtest/b.step", callgraph.EdgeFuncValue)
+}
+
+func TestReachableAndPath(t *testing.T) {
+	g := buildTestGraph(t)
+	root := g.Lookup("graphtest/b.Caller")
+	parents := g.Reachable([]*callgraph.Node{root})
+	step := g.Lookup("graphtest/b.step")
+	if _, ok := parents[step]; !ok {
+		t.Fatalf("step not reachable from Caller")
+	}
+	path := callgraph.PathTo(parents, step)
+	if len(path) != 3 || path[0] != root || path[2] != step {
+		names := make([]string, len(path))
+		for i, n := range path {
+			names[i] = n.Name()
+		}
+		t.Fatalf("unexpected path: %v", names)
+	}
+	// Unreachable nodes are absent.
+	if _, ok := parents[g.Lookup("graphtest/b.Fallback")]; ok {
+		t.Errorf("Fallback must not be reachable from Caller")
+	}
+}
+
+func TestFuncsWithDirective(t *testing.T) {
+	g := buildTestGraph(t)
+	roots := g.FuncsWithDirective("hotpath")
+	if len(roots) != 1 || roots[0].Name() != "(*graphtest/b.engine).Drive" {
+		names := make([]string, len(roots))
+		for i, n := range roots {
+			names[i] = n.Name()
+		}
+		t.Fatalf("hotpath roots = %v, want [(*graphtest/b.engine).Drive]", names)
+	}
+}

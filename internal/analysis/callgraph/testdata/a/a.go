@@ -1,0 +1,23 @@
+// Package a is the callee side of the callgraph testdata module: an
+// interface with two implementations and a plain cross-package helper.
+package a
+
+// Sink is dispatched through by b's callers.
+type Sink interface{ Emit(int) }
+
+// Console implements Sink with a value receiver.
+type Console struct{}
+
+func (Console) Emit(int) {}
+
+// Ring implements Sink with a pointer receiver.
+type Ring struct{ n int }
+
+func (r *Ring) Emit(v int) { r.n += v }
+
+// Use calls through the interface: the graph must edge to both Emit
+// implementations.
+func Use(s Sink, v int) { s.Emit(v) }
+
+// Helper is a cross-package static callee.
+func Helper() int { return 1 }

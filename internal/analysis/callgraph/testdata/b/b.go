@@ -1,0 +1,58 @@
+// Package b exercises every call shape the graph builder resolves:
+// recursion, cross-package statics, interface dispatch, function-valued
+// fields, argument-to-parameter flow, literals, and the signature fallback.
+package b
+
+import "graphtest/a"
+
+type engine struct {
+	cb func(int) // function-valued field, set once at construction
+}
+
+func step(v int) { _ = v }
+
+// New flows step into the cb field through a composite literal.
+func New() *engine {
+	return &engine{cb: step}
+}
+
+// Drive devirtualizes the field call: the graph must resolve cb to step.
+//
+//bigmap:hotpath testdata root for FuncsWithDirective
+func (e *engine) Drive(v int) {
+	e.cb(v)
+}
+
+// Loop is self-recursive and calls cross-package.
+func Loop(n int) int {
+	if n == 0 {
+		return a.Helper()
+	}
+	return Loop(n - 1)
+}
+
+// Dispatch triggers interface dispatch inside package a.
+func Dispatch() {
+	a.Use(a.Console{}, 1)
+}
+
+// Closure calls a tracked local function literal.
+func Closure() {
+	f := func(v int) { step(v) }
+	f(2)
+}
+
+// Param receives a callback and calls it; Caller binds step to it.
+func Param(cb func(int)) { cb(3) }
+
+// Caller flows step into Param's parameter.
+func Caller() { Param(step) }
+
+// handlers holds step behind a slice element, which value flow does not
+// track: calls through it resolve by the address-taken signature fallback.
+var handlers = []func(int){step}
+
+// Fallback calls through a slice element.
+func Fallback() {
+	handlers[0](4)
+}

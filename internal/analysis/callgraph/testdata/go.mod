@@ -1,0 +1,3 @@
+module graphtest
+
+go 1.22

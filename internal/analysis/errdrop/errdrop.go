@@ -1,0 +1,110 @@
+// Package errdrop flags discarded error returns. The checkpoint and serve
+// layers are durability code — a dropped error from a file write, fsync,
+// rename or store mutation is a silent corruption vector — so every call
+// whose error result is thrown away must either handle it or carry an
+// audited justification:
+//
+//	//bigmap:err-ok <why the error is safe to drop>
+//
+// Three discard shapes are reported: a call used as a bare statement whose
+// (last) result is an error, a deferred such call, and an error result
+// assigned to the blank identifier.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"github.com/bigmap/bigmap/internal/analysis"
+)
+
+// Analyzer reports discarded error returns.
+var Analyzer = &analysis.Analyzer{
+	Name:      "errdrop",
+	Doc:       "report discarded error returns from calls in durability-critical packages",
+	Directive: "err-ok",
+	Run:       run,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(node ast.Node) bool {
+			switch n := node.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					checkDiscard(pass, call, "")
+				}
+			case *ast.DeferStmt:
+				checkDiscard(pass, n.Call, "deferred ")
+			case *ast.GoStmt:
+				// A goroutine's return value is always discarded by the
+				// language; flag it like any other discard.
+				checkDiscard(pass, n.Call, "spawned ")
+			case *ast.AssignStmt:
+				checkBlank(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDiscard reports a call statement whose sole or last result is an
+// error nobody reads.
+func checkDiscard(pass *analysis.Pass, call *ast.CallExpr, how string) {
+	tv, ok := pass.Info.Types[call]
+	if !ok || tv.IsType() {
+		return
+	}
+	returnsError := false
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		returnsError = t.Len() > 0 && types.Identical(t.At(t.Len()-1).Type(), errorType)
+	default:
+		returnsError = types.Identical(tv.Type, errorType)
+	}
+	if returnsError {
+		pass.Reportf(call.Pos(), "%scall to %s discards its error", how, types.ExprString(call.Fun))
+	}
+}
+
+// checkBlank reports an error result assigned to the blank identifier.
+func checkBlank(pass *analysis.Pass, as *ast.AssignStmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	tv, ok := pass.Info.Types[call]
+	if !ok {
+		return
+	}
+	resultAt := func(i int) types.Type {
+		if t, ok := tv.Type.(*types.Tuple); ok {
+			if i < t.Len() {
+				return t.At(i).Type()
+			}
+			return nil
+		}
+		if i == 0 {
+			return tv.Type
+		}
+		return nil
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		if t := resultAt(i); t != nil && types.Identical(t, errorType) {
+			pass.Reportf(id.Pos(), "error from %s is assigned to _", types.ExprString(call.Fun))
+		}
+	}
+}

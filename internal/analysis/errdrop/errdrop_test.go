@@ -1,0 +1,12 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"github.com/bigmap/bigmap/internal/analysis/analysistest"
+	"github.com/bigmap/bigmap/internal/analysis/errdrop"
+)
+
+func TestErrDrop(t *testing.T) {
+	analysistest.Run(t, "testdata", errdrop.Analyzer, "drop")
+}

@@ -1,0 +1,40 @@
+// Package drop exercises the errdrop discard shapes.
+package drop
+
+import "os"
+
+type closer struct{}
+
+func (closer) Close() error       { return nil }
+func (closer) Count() int         { return 0 }
+func (closer) Both() (int, error) { return 0, nil }
+
+func statements(c closer) {
+	c.Close()       // want "call to c.Close discards its error"
+	os.Remove("x")  // want "call to os.Remove discards its error"
+	c.Both()        // want "call to c.Both discards its error"
+	c.Count()       // non-error results are fine
+	defer c.Close() // want "deferred call to c.Close discards its error"
+	go c.Close()    // want "spawned call to c.Close discards its error"
+}
+
+func blanks(c closer) {
+	_ = c.Close()    // want "error from c.Close is assigned to _"
+	n, _ := c.Both() // want "error from c.Both is assigned to _"
+	_ = n
+	v, err := c.Both() // reading the error is fine
+	_, _ = v, err
+}
+
+func audited(c closer) {
+	c.Close() //bigmap:err-ok testdata best-effort cleanup
+	//bigmap:err-ok testdata directive above the line also audits
+	os.Remove("y")
+}
+
+func handled(c closer) error {
+	if err := c.Close(); err != nil {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module errtest
+
+go 1.22

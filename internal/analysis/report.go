@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"path/filepath"
+	"sort"
+)
+
+// ReportVersion is the schema version of the machine-readable diagnostics
+// report. Bump only on incompatible changes; consumers (CI artifact readers,
+// the schema round-trip test) reject versions they do not know.
+const ReportVersion = 1
+
+// Report is the stable machine-readable output of a bigmap-vet run
+// (cmd/bigmap-vet -json). Every diagnostic the analyzers produced is listed,
+// audited (suppressed) sites included, so the artifact is a complete census
+// of both violations and their written justifications.
+type Report struct {
+	// Version is the schema version (ReportVersion).
+	Version int `json:"version"`
+	// Module is the module path the run analyzed.
+	Module string `json:"module"`
+	// Analyzers names every analyzer that ran, sorted.
+	Analyzers []string `json:"analyzers"`
+	// Diagnostics holds every finding in position order. Empty slice (never
+	// null) when the run was clean.
+	Diagnostics []ReportDiagnostic `json:"diagnostics"`
+	// Unsuppressed counts diagnostics with Suppressed == false — the number
+	// that fails the vet gate.
+	Unsuppressed int `json:"unsuppressed"`
+	// Suppressed counts audited diagnostics.
+	Suppressed int `json:"suppressed"`
+}
+
+// ReportDiagnostic is one finding. File is module-root-relative with forward
+// slashes, so artifacts are comparable across machines.
+type ReportDiagnostic struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Column     int    `json:"column"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// NewReport assembles a Report from raw diagnostics, relativizing file names
+// against the module root.
+func NewReport(modulePath, root string, analyzers []string, diags []Diagnostic) Report {
+	r := Report{
+		Version:     ReportVersion,
+		Module:      modulePath,
+		Analyzers:   append([]string(nil), analyzers...),
+		Diagnostics: make([]ReportDiagnostic, 0, len(diags)),
+	}
+	sort.Strings(r.Analyzers)
+	for _, d := range diags {
+		file := d.Pos.Filename
+		if rel, err := filepath.Rel(root, file); err == nil {
+			file = rel
+		}
+		r.Diagnostics = append(r.Diagnostics, ReportDiagnostic{
+			Analyzer:   d.Analyzer,
+			File:       filepath.ToSlash(file),
+			Line:       d.Pos.Line,
+			Column:     d.Pos.Column,
+			Message:    d.Message,
+			Suppressed: d.Suppressed,
+		})
+		if d.Suppressed {
+			r.Suppressed++
+		} else {
+			r.Unsuppressed++
+		}
+	}
+	return r
+}
+
+// Validate checks the report against its schema: known version, non-empty
+// module and analyzer names, every diagnostic well-formed (named analyzer
+// from the Analyzers list, slash-separated relative file, positive position,
+// non-empty message), and counts consistent with the diagnostic list.
+func (r *Report) Validate() error {
+	if r.Version != ReportVersion {
+		return fmt.Errorf("report: unknown schema version %d (want %d)", r.Version, ReportVersion)
+	}
+	if r.Module == "" {
+		return fmt.Errorf("report: empty module path")
+	}
+	known := make(map[string]bool, len(r.Analyzers))
+	for i, name := range r.Analyzers {
+		if name == "" {
+			return fmt.Errorf("report: empty analyzer name at index %d", i)
+		}
+		if i > 0 && r.Analyzers[i-1] >= name {
+			return fmt.Errorf("report: analyzers not sorted/unique at %q", name)
+		}
+		known[name] = true
+	}
+	if r.Diagnostics == nil {
+		return fmt.Errorf("report: diagnostics must be an empty list, not null")
+	}
+	sup, unsup := 0, 0
+	for i, d := range r.Diagnostics {
+		if !known[d.Analyzer] {
+			return fmt.Errorf("report: diagnostic %d names unknown analyzer %q", i, d.Analyzer)
+		}
+		if d.File == "" || filepath.IsAbs(d.File) {
+			return fmt.Errorf("report: diagnostic %d has file %q (want module-relative)", i, d.File)
+		}
+		if d.Line <= 0 || d.Column <= 0 {
+			return fmt.Errorf("report: diagnostic %d has position %d:%d", i, d.Line, d.Column)
+		}
+		if d.Message == "" {
+			return fmt.Errorf("report: diagnostic %d has no message", i)
+		}
+		if d.Suppressed {
+			sup++
+		} else {
+			unsup++
+		}
+	}
+	if sup != r.Suppressed || unsup != r.Unsuppressed {
+		return fmt.Errorf("report: counts (%d suppressed, %d unsuppressed) disagree with diagnostics (%d, %d)",
+			r.Suppressed, r.Unsuppressed, sup, unsup)
+	}
+	return nil
+}
+
+// DecodeReport parses and validates a JSON report, rejecting unknown fields —
+// the strict half of the schema round-trip contract.
+func DecodeReport(data []byte) (Report, error) {
+	var r Report
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return Report{}, fmt.Errorf("report: decode: %w", err)
+	}
+	if err := r.Validate(); err != nil {
+		return Report{}, err
+	}
+	return r, nil
+}

@@ -55,8 +55,8 @@ func saveOnce(path string, data []byte) error {
 	}
 	tmpName := tmp.Name()
 	cleanup := func() {
-		tmp.Close()
-		os.Remove(tmpName)
+		tmp.Close()        //bigmap:err-ok best-effort teardown of a temp file already being abandoned for an earlier error
+		os.Remove(tmpName) //bigmap:err-ok a leaked .tmp file is wasted disk, not wrong state; the write error is what the caller sees
 	}
 	if _, err := tmp.Write(data); err != nil {
 		cleanup()
@@ -67,11 +67,11 @@ func saveOnce(path string, data []byte) error {
 		return fmt.Errorf("checkpoint: sync: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		os.Remove(tmpName) //bigmap:err-ok best-effort cleanup; the close failure is the error that reaches the caller
 		return fmt.Errorf("checkpoint: close: %w", err)
 	}
 	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+		os.Remove(tmpName) //bigmap:err-ok best-effort cleanup; the rename failure is the error that reaches the caller
 		return fmt.Errorf("checkpoint: rename: %w", err)
 	}
 	if err := syncDir(dir); err != nil {
@@ -89,7 +89,7 @@ func syncDir(dir string) error {
 	if err != nil {
 		return err
 	}
-	defer d.Close()
+	defer d.Close() //bigmap:err-ok read-only directory fd; Sync's result below carries the durability verdict
 	return d.Sync()
 }
 

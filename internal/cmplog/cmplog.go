@@ -76,7 +76,7 @@ func (c *Collector) Collect(input []byte) []Patch {
 			return
 		}
 		c.seen[p] = struct{}{}
-		c.out = append(c.out, p)
+		c.out = append(c.out, p) //bigmap:alloc-ok cmplog harvest is capped at max patches and runs in the dedicated cmplog stage, not the havoc exec loop
 	})
 	c.interp.Run(input, target.NopTracer{}, c.budget)
 	c.interp.SetCompareHook(nil)

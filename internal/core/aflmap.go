@@ -47,6 +47,8 @@ func (m *AFLMap) UsedKeys() int { return len(m.bits) }
 
 // Add increments the hit count for key, saturating at 255 so that a wrapped
 // counter cannot masquerade as "edge not hit".
+//
+//bigmap:hotpath per-visit map update
 func (m *AFLMap) Add(key uint32) {
 	b := m.bits[key]
 	if b < 255 {
@@ -57,6 +59,8 @@ func (m *AFLMap) Add(key uint32) {
 // AddBatch records a whole buffered trace in one call — the flush half of the
 // batched tracing pipeline. One interface call per execution replaces one
 // virtual Add per edge event; the loop body is the same saturating increment.
+//
+//bigmap:hotpath per-flush batched map update
 func (m *AFLMap) AddBatch(keys []uint32) {
 	bits := m.bits
 	for _, key := range keys {
@@ -69,6 +73,8 @@ func (m *AFLMap) AddBatch(keys []uint32) {
 
 // Reset wipes the whole bitmap. This is the memset AFL performs before every
 // test case.
+//
+//bigmap:hotpath per-exec map clear
 func (m *AFLMap) Reset() {
 	t0 := m.tel.Reset.Start()
 	clear(m.bits)
@@ -78,6 +84,8 @@ func (m *AFLMap) Reset() {
 // Classify converts exact hit counts to bucket bits in place, traversing the
 // full map. Like AFL++'s classify_counts, it skips zero words and classifies
 // non-zero words with halfword lookups.
+//
+//bigmap:hotpath per-exec bucket classification
 func (m *AFLMap) Classify() {
 	t0 := m.tel.Classify.Start()
 	classifyRegion(m.bits)
@@ -87,6 +95,8 @@ func (m *AFLMap) Classify() {
 // CompareWith implements AFL's has_new_bits over the full map: any trace byte
 // that still has bits set in the virgin map is new coverage; hitting a fully
 // virgin byte (0xFF) means a brand-new edge rather than just a new bucket.
+//
+//bigmap:hotpath per-exec virgin comparison
 func (m *AFLMap) CompareWith(virgin *Virgin) Verdict {
 	t0 := m.tel.Compare.Start()
 	verdict, newEdges := compareRegion(m.bits, virgin.bits)
@@ -97,6 +107,8 @@ func (m *AFLMap) CompareWith(virgin *Virgin) Verdict {
 
 // ClassifyAndCompare performs the merged classify+compare traversal (§IV-E):
 // one pass over the full map instead of two.
+//
+//bigmap:hotpath per-exec merged classify+compare
 func (m *AFLMap) ClassifyAndCompare(virgin *Virgin) Verdict {
 	t0 := m.tel.ClassifyCompare.Start()
 	verdict, newEdges := classifyCompareRegion(m.bits, virgin.bits)
@@ -108,6 +120,8 @@ func (m *AFLMap) ClassifyAndCompare(virgin *Virgin) Verdict {
 // MaybeNew is the read-only selective-tracing prefilter over the full map:
 // true iff ClassifyAndCompare(virgin) would return a non-VerdictNone verdict.
 // Neither the trace nor the virgin map is modified.
+//
+//bigmap:hotpath per-exec selective-trace prefilter
 func (m *AFLMap) MaybeNew(virgin *Virgin) bool {
 	t0 := m.tel.MaybeNew.Start()
 	hit := maybeNewRegion(m.bits, virgin.bits)
@@ -116,6 +130,8 @@ func (m *AFLMap) MaybeNew(virgin *Virgin) bool {
 }
 
 // Hash digests the full bitmap.
+//
+//bigmap:hotpath per-discovery trace digest
 func (m *AFLMap) Hash() uint64 {
 	t0 := m.tel.Hash.Start()
 	h := hashBytes(m.bits)

@@ -115,6 +115,8 @@ func (m *BigMap) trace() []byte {
 // Add performs the two-level update from the paper's Listing 2: look the key
 // up in the index bitmap, assigning the next free dense slot on first sight,
 // then increment the dense hit counter (saturating at 255).
+//
+//bigmap:hotpath per-visit map update
 func (m *BigMap) Add(key uint32) {
 	k := m.index[key]
 	if k < 0 {
@@ -127,7 +129,7 @@ func (m *BigMap) Add(key uint32) {
 		k = int32(m.used)
 		m.index[key] = k
 		m.growSlotKey()
-		m.slotKey = append(m.slotKey, key)
+		m.slotKey = append(m.slotKey, key) //bigmap:alloc-ok never reallocates: growSlotKey on the line above guarantees spare capacity
 		m.used++
 	}
 	if int(k) > m.hw {
@@ -147,6 +149,8 @@ func (m *BigMap) Add(key uint32) {
 // layout is the same one per-edge Adds would have produced. One interface
 // call per execution replaces one virtual Add per edge event, and the
 // high-water mark is folded through a register instead of memory.
+//
+//bigmap:hotpath per-flush batched map update
 func (m *BigMap) AddBatch(keys []uint32) {
 	hw := m.hw
 	for _, key := range keys {
@@ -159,7 +163,7 @@ func (m *BigMap) AddBatch(keys []uint32) {
 			k = int32(m.used)
 			m.index[key] = k
 			m.growSlotKey()
-			m.slotKey = append(m.slotKey, key)
+			m.slotKey = append(m.slotKey, key) //bigmap:alloc-ok never reallocates: growSlotKey on the line above guarantees spare capacity
 			m.used++
 		}
 		if int(k) > hw {
@@ -182,7 +186,7 @@ func (m *BigMap) growSlotKey() {
 	if len(m.slotKey) < cap(m.slotKey) {
 		return
 	}
-	grown := make([]uint32, len(m.slotKey), 2*cap(m.slotKey))
+	grown := make([]uint32, len(m.slotKey), 2*cap(m.slotKey)) //bigmap:alloc-ok amortized doubling: O(log used_key) allocations per campaign, none within initialSlotCap
 	copy(grown, m.slotKey)
 	m.slotKey = grown
 }
@@ -191,6 +195,8 @@ func (m *BigMap) growSlotKey() {
 // the high-water mark is already zero. The index bitmap is deliberately
 // untouched: slot assignments persist for the whole campaign so the same
 // edge always lands in the same slot.
+//
+//bigmap:hotpath per-exec map clear
 func (m *BigMap) Reset() {
 	t0 := m.tel.Reset.Start()
 	m.debugCheckTraceClean()
@@ -201,6 +207,8 @@ func (m *BigMap) Reset() {
 
 // Classify converts exact hit counts to bucket bits in place over the
 // touched region only.
+//
+//bigmap:hotpath per-exec bucket classification
 func (m *BigMap) Classify() {
 	t0 := m.tel.Classify.Start()
 	classifyRegion(m.trace())
@@ -212,6 +220,8 @@ func (m *BigMap) Classify() {
 // monotonic), so comparing the region the current trace touched observes
 // exactly the keys this execution hit; untouched slots are zero and can
 // never contribute a verdict.
+//
+//bigmap:hotpath per-exec virgin comparison
 func (m *BigMap) CompareWith(virgin *Virgin) Verdict {
 	t0 := m.tel.Compare.Start()
 	verdict, newEdges := compareRegion(m.trace(), virgin.bits)
@@ -222,6 +232,8 @@ func (m *BigMap) CompareWith(virgin *Virgin) Verdict {
 
 // ClassifyAndCompare performs the merged classify+compare traversal (§IV-E)
 // over the touched region.
+//
+//bigmap:hotpath per-exec merged classify+compare
 func (m *BigMap) ClassifyAndCompare(virgin *Virgin) Verdict {
 	t0 := m.tel.ClassifyCompare.Start()
 	verdict, newEdges := classifyCompareRegion(m.trace(), virgin.bits)
@@ -235,6 +247,8 @@ func (m *BigMap) ClassifyAndCompare(virgin *Virgin) Verdict {
 // verdict. Neither the trace nor the virgin map is modified, so a false
 // result lets the caller skip the classify-store and virgin-update work of
 // the full traversal for this execution.
+//
+//bigmap:hotpath per-exec selective-trace prefilter
 func (m *BigMap) MaybeNew(virgin *Virgin) bool {
 	t0 := m.tel.MaybeNew.Start()
 	hit := maybeNewRegion(m.trace(), virgin.bits)
@@ -248,6 +262,8 @@ func (m *BigMap) MaybeNew(virgin *Virgin) bool {
 // at the last non-zero value keeps the digest a function of the path alone.
 // The high-water mark already bounds the scan — the backward word-level
 // search only walks the (usually empty) zero gap below it.
+//
+//bigmap:hotpath per-discovery trace digest
 func (m *BigMap) Hash() uint64 {
 	t0 := m.tel.Hash.Start()
 	last := lastNonZero(m.trace())

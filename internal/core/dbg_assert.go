@@ -19,13 +19,13 @@ func (m *BigMap) debugCheckCounters() {
 		return
 	}
 	if len(m.slotKey) != m.used {
-		panic(fmt.Sprintf("core: slotKey length %d diverged from used_key %d", len(m.slotKey), m.used))
+		panic(fmt.Sprintf("core: slotKey length %d diverged from used_key %d", len(m.slotKey), m.used)) //bigmap:alloc-ok panic message on a violated invariant; bigmapdbg builds only and the process is dying
 	}
 	if m.used > len(m.coverage) {
-		panic(fmt.Sprintf("core: used_key %d exceeds slot capacity %d", m.used, len(m.coverage)))
+		panic(fmt.Sprintf("core: used_key %d exceeds slot capacity %d", m.used, len(m.coverage))) //bigmap:alloc-ok panic message on a violated invariant; bigmapdbg builds only and the process is dying
 	}
 	if m.hw < -1 || m.hw >= m.used {
-		panic(fmt.Sprintf("core: high-water mark %d outside [-1, used_key %d)", m.hw, m.used))
+		panic(fmt.Sprintf("core: high-water mark %d outside [-1, used_key %d)", m.hw, m.used)) //bigmap:alloc-ok panic message on a violated invariant; bigmapdbg builds only and the process is dying
 	}
 }
 
@@ -37,7 +37,7 @@ func (m *BigMap) debugCheckTraceClean() {
 		return
 	}
 	if last := lastNonZero(m.coverage[:m.used]); last > m.hw {
-		panic(fmt.Sprintf("core: slot %d non-zero above high-water mark %d", last, m.hw))
+		panic(fmt.Sprintf("core: slot %d non-zero above high-water mark %d", last, m.hw)) //bigmap:alloc-ok panic message on a violated invariant; bigmapdbg builds only and the process is dying
 	}
 }
 

@@ -14,6 +14,8 @@ import "math/bits"
 // classifyRegion converts exact hit counts to AFL bucket bits in place,
 // skipping zero words and classifying non-zero words with two halfword
 // lookups per load (classifyWord).
+//
+//bigmap:hotpath shared classify kernel
 func classifyRegion(p []byte) {
 	i := 0
 	for ; i+8 <= len(p); i += 8 {
@@ -35,6 +37,8 @@ func classifyRegion(p []byte) {
 // count without re-walking the virgin map). Two word-level early outs cover
 // the hot cases: an untouched span (trace word zero) and an already known
 // span (no trace bit still virgin).
+//
+//bigmap:hotpath shared compare kernel
 func compareRegion(trace, virgin []byte) (verdict Verdict, newEdges int) {
 	i := 0
 	for ; i+8 <= len(trace); i += 8 {
@@ -54,6 +58,8 @@ func compareRegion(trace, virgin []byte) (verdict Verdict, newEdges int) {
 // each non-zero word is classified and stored, then compared against virgin
 // with the same word-level early out as compareRegion. The per-byte fallback
 // receives the already classified span, so it only performs the compare step.
+//
+//bigmap:hotpath shared merged kernel
 func classifyCompareRegion(trace, virgin []byte) (verdict Verdict, newEdges int) {
 	i := 0
 	for ; i+8 <= len(trace); i += 8 {
@@ -82,6 +88,8 @@ func classifyCompareRegion(trace, virgin []byte) (verdict Verdict, newEdges int)
 // at the first word with a surviving bit. Non-discovering executions (the vast
 // majority) therefore pay one read-only early-exit scan instead of the
 // classify-store plus virgin-update traversal.
+//
+//bigmap:hotpath shared prefilter kernel
 func maybeNewRegion(trace, virgin []byte) bool {
 	i := 0
 	for ; i+8 <= len(trace); i += 8 {
@@ -104,6 +112,8 @@ func maybeNewRegion(trace, virgin []byte) bool {
 
 // countNonZeroRegion counts non-zero hit counters, skipping zero words and
 // popcounting the occupancy mask of non-zero words.
+//
+//bigmap:hotpath shared density kernel
 func countNonZeroRegion(p []byte) int {
 	n := 0
 	i := 0
@@ -134,6 +144,8 @@ func countNonZeroWord(w uint64) int {
 
 // appendTouchedRegion appends the index of every non-zero hit counter in p
 // to dst, skipping zero words.
+//
+//bigmap:hotpath shared touched-slot kernel
 func appendTouchedRegion(dst []uint32, p []byte) []uint32 {
 	i := 0
 	for ; i+8 <= len(p); i += 8 {
@@ -142,13 +154,13 @@ func appendTouchedRegion(dst []uint32, p []byte) []uint32 {
 		}
 		for j := i; j < i+8; j++ {
 			if p[j] != 0 {
-				dst = append(dst, uint32(j))
+				dst = append(dst, uint32(j)) //bigmap:alloc-ok appends into the caller's reusable scratch, which reaches steady-state capacity after warm-up
 			}
 		}
 	}
 	for ; i < len(p); i++ {
 		if p[i] != 0 {
-			dst = append(dst, uint32(i))
+			dst = append(dst, uint32(i)) //bigmap:alloc-ok appends into the caller's reusable scratch, which reaches steady-state capacity after warm-up
 		}
 	}
 	return dst

@@ -47,9 +47,13 @@ func NewEdgeMetric(mapSize int) (*EdgeMetric, error) {
 func (m *EdgeMetric) Name() string { return "edge" }
 
 // Begin resets the previous-block state to the program entry sentinel.
+//
+//bigmap:hotpath per-exec metric reset
 func (m *EdgeMetric) Begin() { m.prev = 0 }
 
 // Visit returns (prev>>1)^cur as in AFL's instrumentation.
+//
+//bigmap:hotpath per-visit edge key derivation
 func (m *EdgeMetric) Visit(block uint32) uint32 {
 	key := (m.prev ^ block) & m.mask
 	m.prev = block >> 1
@@ -96,6 +100,8 @@ func NewNGramMetric(mapSize, n int) (*NGramMetric, error) {
 func (m *NGramMetric) Name() string { return fmt.Sprintf("ngram%d", m.n) }
 
 // Begin clears the block window.
+//
+//bigmap:hotpath per-exec metric reset
 func (m *NGramMetric) Begin() {
 	clear(m.window)
 	m.pos = 0
@@ -104,6 +110,8 @@ func (m *NGramMetric) Begin() {
 
 // Visit pushes the block into the window and returns the hash of the last N
 // blocks.
+//
+//bigmap:hotpath per-visit ngram key derivation
 func (m *NGramMetric) Visit(block uint32) uint32 {
 	m.window[m.pos] = block
 	m.pos++
@@ -156,6 +164,8 @@ func NewContextMetric(mapSize int) (*ContextMetric, error) {
 func (m *ContextMetric) Name() string { return "ctx-edge" }
 
 // Begin resets the edge state and call stack.
+//
+//bigmap:hotpath per-exec metric reset
 func (m *ContextMetric) Begin() {
 	m.prev = 0
 	m.ctx = 0
@@ -163,6 +173,8 @@ func (m *ContextMetric) Begin() {
 }
 
 // Visit returns the context-xored edge key.
+//
+//bigmap:hotpath per-visit context key derivation
 func (m *ContextMetric) Visit(block uint32) uint32 {
 	key := (m.prev ^ block ^ m.ctx) & m.mask
 	m.prev = block >> 1
@@ -170,12 +182,16 @@ func (m *ContextMetric) Visit(block uint32) uint32 {
 }
 
 // EnterCall folds the callsite into the context hash.
+//
+//bigmap:hotpath per-call context push
 func (m *ContextMetric) EnterCall(callsite uint32) {
-	m.stack = append(m.stack, m.ctx)
+	m.stack = append(m.stack, m.ctx) //bigmap:alloc-ok call-depth stack reaches the target's max depth in the first executions, then reuses its backing
 	m.ctx = uint32(hashCombine(uint64(m.ctx), uint64(callsite)))
 }
 
 // LeaveCall restores the context of the caller.
+//
+//bigmap:hotpath per-call context pop
 func (m *ContextMetric) LeaveCall() {
 	if n := len(m.stack); n > 0 {
 		m.ctx = m.stack[n-1]

@@ -69,7 +69,7 @@ func (q *Queue) Get(i int) *Entry { return q.entries[i] }
 // slot the entry touches, it becomes the slot's champion if it has a better
 // (smaller) fav factor than the current one — AFL's update_bitmap_score.
 func (q *Queue) Add(e *Entry) {
-	q.entries = append(q.entries, e)
+	q.entries = append(q.entries, e) //bigmap:alloc-ok discovery-only: runs once per new corpus entry, not per execution
 	f := favFactor(e)
 	for _, slot := range e.Touched {
 		cur, ok := q.topRated[slot]

@@ -58,9 +58,9 @@ func (d *Deduper) Observe(site uint32, stack []uint32, input []byte) bool {
 		rec.Count++
 		return false
 	}
-	in := make([]byte, len(input))
+	in := make([]byte, len(input)) //bigmap:alloc-ok crash path: input is copied once per new crash bucket, never on clean runs
 	copy(in, input)
-	d.seen[key] = &Record{
+	d.seen[key] = &Record{ //bigmap:alloc-ok crash path: one record per new crash bucket, never on clean runs
 		Key:        key,
 		Site:       site,
 		StackDepth: len(stack),

@@ -69,6 +69,8 @@ func (t *mapTracer) Visit(block uint32) {
 // VisitBatch derives one coverage key per visited block and buffers them.
 // The interpreter's ring never exceeds the buffer capacity, so after a flush
 // the whole batch always fits.
+//
+//bigmap:hotpath BatchTracer callback, runs once per trace-ring flush inside every execution
 func (t *mapTracer) VisitBatch(blocks []uint32) {
 	keys := t.keys
 	if len(keys)+len(blocks) > cap(keys) {
@@ -77,11 +79,11 @@ func (t *mapTracer) VisitBatch(blocks []uint32) {
 	}
 	if t.edge != nil {
 		for _, b := range blocks {
-			keys = append(keys, t.edge.Visit(b))
+			keys = append(keys, t.edge.Visit(b)) //bigmap:alloc-ok never reallocates: the flush above guarantees the batch fits keyBufLen capacity
 		}
 	} else {
 		for _, b := range blocks {
-			keys = append(keys, t.metric.Visit(b))
+			keys = append(keys, t.metric.Visit(b)) //bigmap:alloc-ok never reallocates: the flush above guarantees the batch fits keyBufLen capacity
 		}
 	}
 	t.keys = keys
@@ -167,6 +169,8 @@ func (e *Executor) SetCostFactor(factor int) {
 // responsible for resetting the map beforehand and classifying/comparing it
 // afterwards — the fuzzer owns that pipeline so it can time each phase
 // separately (Figure 3) and choose merged or split classify+compare (§IV-E).
+//
+//bigmap:hotpath the per-exec loop: one call per fuzzing execution
 func (e *Executor) Execute(input []byte) target.Result {
 	e.metric.Begin()
 	e.tracer.keys = e.tracer.keys[:0] // drop any keys a panicking prior run left behind
@@ -205,6 +209,8 @@ func (e *Executor) Execute(input []byte) target.Result {
 // so consecutive executions of similar inputs clear only what they touched),
 // and the filter's skip removes the classify-store and virgin-update work
 // for the non-discovering majority of inputs.
+//
+//bigmap:hotpath the batched exec loop: reset, execute and coverage decision per input
 func (e *Executor) ExecuteBatch(inputs [][]byte, virgin *core.Virgin, selective bool,
 	visit func(i int, res target.Result, verdict core.Verdict, skipped bool)) {
 	for i, input := range inputs {

@@ -438,7 +438,7 @@ func (f *Fuzzer) visitBatched(i int, res target.Result, verdict core.Verdict, sk
 			f.noteFilterFull()
 		}
 		if verdict != core.VerdictNone {
-			input := make([]byte, len(candidate))
+			input := make([]byte, len(candidate)) //bigmap:alloc-ok discovery-only: the candidate is copied once per verdict-positive execution
 			copy(input, candidate)
 			f.enqueue(input, res, "havoc", f.batchDepth)
 		}
@@ -641,7 +641,7 @@ func (f *Fuzzer) runVerified(input []byte) (target.Result, core.Verdict) {
 // The coverage map is clobbered; callers capture hash/touched beforehand.
 func (f *Fuzzer) calibrate(input []byte, firstTouched []uint32, firstCycles uint64) uint64 {
 	c0 := f.tel.stageCalibrate.Start()
-	counts := make(map[uint32]int, len(firstTouched))
+	counts := make(map[uint32]int, len(firstTouched)) //bigmap:alloc-ok calibration runs once per new corpus entry, off the per-exec loop
 	for _, s := range firstTouched {
 		counts[s] = 1
 	}
@@ -700,7 +700,7 @@ func (f *Fuzzer) enqueue(input []byte, res target.Result, foundBy string, depth 
 	}
 
 	f.touchedScratch = f.cov.AppendTouched(f.touchedScratch[:0])
-	touched := make([]uint32, len(f.touchedScratch))
+	touched := make([]uint32, len(f.touchedScratch)) //bigmap:alloc-ok discovery-only: touched slots are copied once per new corpus entry
 	copy(touched, f.touchedScratch)
 
 	cycles := res.Cycles
@@ -708,7 +708,7 @@ func (f *Fuzzer) enqueue(input []byte, res target.Result, foundBy string, depth 
 		cycles = f.calibrate(input, touched, cycles)
 	}
 
-	e := &corpus.Entry{
+	e := &corpus.Entry{ //bigmap:alloc-ok discovery-only: one corpus entry allocation per discovery
 		Input:     input,
 		Cycles:    cycles,
 		EdgeCount: len(touched),

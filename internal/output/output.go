@@ -45,7 +45,7 @@ func NewSession(dir string) (*Session, error) {
 	if err == nil && st.Size() == 0 {
 		fmt.Fprintln(plot, "# relative_time,execs,paths,edges,crashes_unique,hangs")
 	}
-	return &Session{dir: dir, plotFile: plot, started: time.Now()}, nil
+	return &Session{dir: dir, plotFile: plot, started: time.Now()}, nil //bigmap:nondeterministic-ok session start stamp feeds AFL-style run_time/plot columns only
 }
 
 // Dir returns the session root.
@@ -94,7 +94,7 @@ func (s *Session) SaveCrashes(records []*crash.Record) error {
 // WriteStats dumps the AFL-style fuzzer_stats summary.
 func (s *Session) WriteStats(st fuzzer.Stats, scheme string, mapSize int) error {
 	var b strings.Builder
-	elapsed := time.Since(s.started).Seconds()
+	elapsed := time.Since(s.started).Seconds() //bigmap:nondeterministic-ok run_time_sec is presentation-only wall-clock output
 	write := func(k string, v any) { fmt.Fprintf(&b, "%-18s: %v\n", k, v) }
 	write("run_time_sec", fmt.Sprintf("%.1f", elapsed))
 	write("execs_done", st.Execs)
@@ -117,7 +117,7 @@ func (s *Session) WriteStats(st fuzzer.Stats, scheme string, mapSize int) error 
 // AppendPlot appends one plot_data sample.
 func (s *Session) AppendPlot(st fuzzer.Stats) error {
 	_, err := fmt.Fprintf(s.plotFile, "%.1f,%d,%d,%d,%d,%d\n",
-		time.Since(s.started).Seconds(), st.Execs, st.Paths,
+		time.Since(s.started).Seconds(), st.Execs, st.Paths, //bigmap:nondeterministic-ok plot_data's relative_time column is wall-clock by design
 		st.EdgesDiscovered, st.UniqueCrashes, st.Hangs)
 	return err
 }

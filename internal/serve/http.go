@@ -215,7 +215,7 @@ func writeMetrics(w http.ResponseWriter, reg *telemetry.Registry) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = telemetry.WritePrometheus(w, reg.Snapshot())
+	_ = telemetry.WritePrometheus(w, reg.Snapshot()) //bigmap:err-ok write error means the scraper hung up; nothing to do server-side
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -223,7 +223,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_ = enc.Encode(v) //bigmap:err-ok headers are already sent; an encode/write error means the client hung up
 }
 
 // writeErr maps a control-plane error to its HTTP shape.

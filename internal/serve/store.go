@@ -80,7 +80,7 @@ func (st *store) create(id string) error {
 // creation that could not be completed. Best-effort — a leftover directory
 // costs a recovery_skipped event, not wrong state.
 func (st *store) remove(id string) {
-	os.RemoveAll(st.dir(id))
+	os.RemoveAll(st.dir(id)) //bigmap:err-ok best-effort rollback; a leftover directory costs a recovery_skipped event, not wrong state
 }
 
 // saveMeta atomically persists the metadata document.
@@ -191,6 +191,6 @@ func (st *store) pruneCheckpoints(id string, keep int) {
 	rounds := st.checkpointRounds(id)
 	for i := keep; i < len(rounds); i++ {
 		// Best-effort: a stale checkpoint is wasted disk, not wrong state.
-		os.Remove(st.chkPath(id, rounds[i]))
+		os.Remove(st.chkPath(id, rounds[i])) //bigmap:err-ok pruning is advisory; the newest checkpoints stay valid either way
 	}
 }

@@ -186,7 +186,7 @@ func (d *dropTracer) VisitBatch(blocks []uint32) {
 	kept := d.scratch[:0]
 	for _, b := range blocks {
 		if !d.flaky[b] {
-			kept = append(kept, b)
+			kept = append(kept, b) //bigmap:alloc-ok fault-injection wrapper for robustness experiments; scratch reaches ring capacity after the first batch
 		}
 	}
 	d.scratch = kept[:0]

@@ -66,7 +66,7 @@ const (
 type feature struct {
 	kind    int
 	callee  int  // featCall: callee function index
-	gated   bool // featCall: guarded by a byte compare
+	gated   bool // featCall: reachable only past a byte-compare check
 	bonus   int  // featMagic: gated bonus blocks
 	start   int  // first chain slot (laid out per function)
 	special int  // first special-region slot (crash/hang/bonus)

@@ -75,6 +75,8 @@ func at(input []byte, pos int) byte {
 // call per ring's worth of blocks instead of one per block. The ring is
 // flushed around call events and before returning, so batch consumers see
 // the same event order (see BatchTracer).
+//
+//bigmap:hotpath the target execution loop itself
 func (ip *Interp) Run(input []byte, tracer Tracer, budget uint64) Result {
 	if budget == 0 {
 		budget = DefaultBudget
@@ -90,7 +92,7 @@ func (ip *Interp) Run(input []byte, tracer Tracer, budget uint64) Result {
 
 	bt, batched := tracer.(BatchTracer)
 	if batched && cap(ip.ring) == 0 {
-		ip.ring = make([]uint32, 0, traceRingLen)
+		ip.ring = make([]uint32, 0, traceRingLen) //bigmap:alloc-ok one-time lazy ring allocation, reused across every subsequent run
 	}
 	ring := ip.ring[:0]
 	flushRing := func() {
@@ -115,7 +117,7 @@ func (ip *Interp) Run(input []byte, tracer Tracer, budget uint64) Result {
 		res.Status = status
 		res.Cycles = cycles
 		if len(stack) > 0 {
-			res.Stack = make([]uint32, len(stack))
+			res.Stack = make([]uint32, len(stack)) //bigmap:alloc-ok abnormal-exit reporting: a clean run ends with an empty call stack
 			for i := range stack {
 				res.Stack[i] = stack[i].site
 			}
@@ -142,7 +144,7 @@ func (ip *Interp) Run(input []byte, tracer Tracer, budget uint64) Result {
 				bt.VisitBatch(ring)
 				ring = ring[:0]
 			}
-			ring = append(ring, blk.ID)
+			ring = append(ring, blk.ID) //bigmap:alloc-ok never reallocates: the ring is flushed at capacity on the line above
 		} else {
 			tracer.Visit(blk.ID)
 		}
@@ -216,7 +218,7 @@ func (ip *Interp) Run(input []byte, tracer Tracer, budget uint64) Result {
 							bt.VisitBatch(ring)
 							ring = ring[:0]
 						}
-						ring = append(ring, blk.ID)
+						ring = append(ring, blk.ID) //bigmap:alloc-ok never reallocates: the ring is flushed at capacity on the line above
 					} else {
 						tracer.Visit(blk.ID)
 					}
@@ -235,7 +237,7 @@ func (ip *Interp) Run(input []byte, tracer Tracer, budget uint64) Result {
 				cycles = budget
 				return finish(StatusHang)
 			}
-			stack = append(stack, frame{fn: fn, cont: nd.B, site: blk.ID})
+			stack = append(stack, frame{fn: fn, cont: nd.B, site: blk.ID}) //bigmap:alloc-ok bounded by maxCallDepth and reuses ip.stack backing across runs
 			if batched {
 				flushRing() // keep Visit/EnterCall order for batch consumers
 			}

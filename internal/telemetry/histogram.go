@@ -28,6 +28,8 @@ type Histogram struct {
 }
 
 // Observe records one value.
+//
+//bigmap:hotpath per-exec latency sample
 func (h *Histogram) Observe(v uint64) {
 	if h == nil {
 		return
@@ -57,6 +59,8 @@ func (h *Histogram) Observe(v uint64) {
 
 // Start begins timing a region: it returns the current monotonic reading,
 // or 0 without touching the clock when the histogram is nil. Pair with Done.
+//
+//bigmap:hotpath per-exec timing start
 func (h *Histogram) Start() int64 {
 	if h == nil {
 		return 0
@@ -66,6 +70,8 @@ func (h *Histogram) Start() int64 {
 
 // Done records the duration since start (a value returned by Start on the
 // same histogram). On a nil histogram it is a no-op, matching Start's 0.
+//
+//bigmap:hotpath per-exec timing stop
 func (h *Histogram) Done(start int64) {
 	if h == nil {
 		return

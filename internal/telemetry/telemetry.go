@@ -27,6 +27,8 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//bigmap:hotpath per-event counter bump
 func (c *Counter) Inc() {
 	if c == nil {
 		return
@@ -35,6 +37,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n.
+//
+//bigmap:hotpath per-event counter bump
 func (c *Counter) Add(n uint64) {
 	if c == nil {
 		return
@@ -57,6 +61,8 @@ type Gauge struct {
 }
 
 // Set replaces the gauge value.
+//
+//bigmap:hotpath per-sample gauge store
 func (g *Gauge) Set(v int64) {
 	if g == nil {
 		return
@@ -65,6 +71,8 @@ func (g *Gauge) Set(v int64) {
 }
 
 // Add adjusts the gauge by delta.
+//
+//bigmap:hotpath per-sample gauge adjust
 func (g *Gauge) Add(delta int64) {
 	if g == nil {
 		return
