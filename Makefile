@@ -1,7 +1,7 @@
 # Development targets; CI (.github/workflows/ci.yml) runs `make check`'s
 # steps verbatim.
 
-.PHONY: check build test vet vet-json race dbg notel serve-smoke fuzz fuzz-checkpoint fuzz-selffuzz fuzz-all bench bench3 benchcmp bench-smoke bench-all results
+.PHONY: check build test vet vet-json race dbg notel serve-smoke dist-smoke fuzz fuzz-checkpoint fuzz-selffuzz fuzz-all bench bench3 benchcmp bench-smoke bench-all results
 
 check: vet build test race dbg notel
 
@@ -55,6 +55,15 @@ notel:
 serve-smoke:
 	go test -race ./internal/serve/
 	./scripts/serve-smoke.sh
+
+# The distributed campaign layer, driven end to end over real HTTP through
+# the real binaries: start bigmap-corpusd, join two bigmap-fuzz workers,
+# assert dedup and delta counters, kill a worker mid-sync and rejoin it,
+# verify the ledger, restart the daemon and assert ledger-replay recovery.
+# Plus the layer's race suites. Needs curl and jq.
+dist-smoke:
+	go test -race ./internal/dist/ ./internal/corpusd/
+	./scripts/dist-smoke.sh
 
 # Per-target fuzzing budget for every fuzz* target below.
 FUZZTIME ?= 30s

@@ -19,6 +19,13 @@
 // one-line progress summary to stderr at that interval. Both wire the
 // fuzzer into a telemetry registry; without them the campaign runs with
 // telemetry fully off (zero overhead in the exec loop).
+//
+// Campaigns can span processes and machines: -join attaches this instance
+// to a bigmap-corpusd corpus service, pushing new queue entries, crash
+// buckets and virgin-map deltas every -sync-every execs and importing what
+// the campaign's other workers published (see docs/DISTRIBUTED.md):
+//
+//	bigmap-fuzz -bench sqlite3 -execs 500000 -join http://localhost:8766 -worker w1
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 
 	"github.com/bigmap/bigmap"
 	"github.com/bigmap/bigmap/internal/dictionary"
+	"github.com/bigmap/bigmap/internal/dist"
 	"github.com/bigmap/bigmap/internal/output"
 	"github.com/bigmap/bigmap/internal/rng"
 )
@@ -76,6 +84,10 @@ func run(args []string) error {
 	chkPath := fs.String("checkpoint", "", "checkpoint file (atomic snapshots; last-gasp on error/signal)")
 	chkEvery := fs.Uint64("checkpoint-every", 0, "execs between periodic checkpoints (0 = final/last-gasp only)")
 	resume := fs.Bool("resume", false, "resume the campaign from -checkpoint (same target flags required)")
+	join := fs.String("join", "", "corpus service base URL (bigmap-corpusd) to sync this instance through")
+	campaign := fs.String("campaign", "default", "corpus service campaign name (with -join)")
+	worker := fs.String("worker", "", "worker name on the corpus service; unique per campaign, reuse only to resume (default w<pid>)")
+	syncEvery := fs.Uint64("sync-every", 20000, "execs between corpus service sync boundaries (with -join)")
 	httpAddr := fs.String("http", "", "serve /metrics, /stats and /debug/pprof/ on this address (e.g. :8080)")
 	statsEvery := fs.Float64("stats-every", 0, "seconds between one-line progress reports on stderr (0 = off)")
 	faultSeed := fs.Uint64("fault-seed", 1, "fault injector seed")
@@ -245,6 +257,27 @@ func run(args []string) error {
 		fmt.Printf("  %d/%d seeds accepted\n", accepted, len(corpusIn))
 	}
 
+	var peer *dist.Worker
+	if *join != "" {
+		client, err := dist.NewClient(*join, *campaign)
+		if err != nil {
+			return err
+		}
+		if err := client.EnsureCampaign(size); err != nil {
+			return fmt.Errorf("join %s: %w", *join, err)
+		}
+		name := *worker
+		if name == "" {
+			name = fmt.Sprintf("w%d", os.Getpid())
+		}
+		peer, err = dist.NewWorker(f, name, client, size)
+		if err != nil {
+			return fmt.Errorf("join %s: %w", *join, err)
+		}
+		fmt.Printf("  joined campaign %q at %s as worker %q (sync every %d execs)\n",
+			*campaign, *join, name, *syncEvery)
+	}
+
 	var session *output.Session
 	if *outDir != "" {
 		var err error
@@ -260,8 +293,19 @@ func run(args []string) error {
 	defer signal.Stop(stop)
 
 	start := time.Now() //bigmap:nondeterministic-ok wall-clock campaign timing for the stats banner only
-	runErr := fuzzLoop(f, *execs, *seconds, *chkPath, *chkEvery, *statsEvery, stop)
+	runErr := fuzzLoop(f, peer, *execs, *seconds, *chkPath, *chkEvery, *syncEvery, *statsEvery, stop)
 	elapsed := time.Since(start) //bigmap:nondeterministic-ok wall-clock campaign timing for the stats banner only
+
+	if peer != nil {
+		// Publish the final finds; a campaign's last slice is otherwise
+		// invisible to its peers.
+		if _, err := peer.Push(); err != nil {
+			fmt.Fprintln(os.Stderr, "bigmap-fuzz: final sync:", err)
+		} else if st, err := peer.Syncer().Stats(); err == nil {
+			fmt.Printf("  campaign-wide: %d inputs, %d crash buckets, %d workers, %d union edges\n",
+				st.Inputs, st.Crashes, st.Workers, st.UnionDiscovered)
+		}
+	}
 
 	// Stats and the final checkpoint are flushed on the error path too — a
 	// failed or interrupted campaign is exactly when the snapshot matters.
@@ -292,10 +336,11 @@ func run(args []string) error {
 }
 
 // fuzzLoop drives the campaign in slices so signals are answered, periodic
-// checkpoints written and progress lines printed between slices, never
-// mid-round. The execs budget is the campaign total, so a resumed campaign
-// finishes the original budget rather than starting a fresh one.
-func fuzzLoop(f *bigmap.Fuzzer, execs uint64, seconds float64, chkPath string, chkEvery uint64, statsEvery float64, stop <-chan os.Signal) error {
+// checkpoints written, corpus-service syncs run and progress lines printed
+// between slices, never mid-round. The execs budget is the campaign total,
+// so a resumed campaign finishes the original budget rather than starting a
+// fresh one.
+func fuzzLoop(f *bigmap.Fuzzer, peer *dist.Worker, execs uint64, seconds float64, chkPath string, chkEvery, syncEvery uint64, statsEvery float64, stop <-chan os.Signal) error {
 	if execs == 0 && seconds <= 0 {
 		return fmt.Errorf("need -execs or -seconds")
 	}
@@ -303,7 +348,11 @@ func fuzzLoop(f *bigmap.Fuzzer, execs uint64, seconds float64, chkPath string, c
 	if chkEvery > 0 && chkEvery < slice {
 		slice = chkEvery
 	}
+	if peer != nil && syncEvery > 0 && syncEvery < slice {
+		slice = syncEvery
+	}
 	sinceChk := uint64(0)
+	sinceSync := uint64(0)
 	deadline := time.Time{}
 	if execs == 0 {
 		deadline = time.Now().Add(time.Duration(seconds * float64(time.Second))) //bigmap:nondeterministic-ok -seconds is a wall-clock budget by definition
@@ -358,6 +407,17 @@ func fuzzLoop(f *bigmap.Fuzzer, execs uint64, seconds float64, chkPath string, c
 				sinceChk = 0
 				if err := bigmap.SaveFuzzerCheckpoint(chkPath, f); err != nil {
 					return err
+				}
+			}
+		}
+		if peer != nil && syncEvery > 0 {
+			sinceSync += slice
+			if sinceSync >= syncEvery {
+				sinceSync = 0
+				// A sync failure degrades to independent fuzzing; the
+				// worker's pending batch is retried at the next boundary.
+				if err := peer.Sync(); err != nil {
+					fmt.Fprintln(os.Stderr, "bigmap-fuzz: sync:", err)
 				}
 			}
 		}

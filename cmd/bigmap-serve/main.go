@@ -50,6 +50,7 @@ func run(args []string) error {
 	drainTimeout := fs.Duration("drain-timeout", time.Minute, "how long a SIGTERM drain may take before giving up")
 	chaos := fs.Bool("chaos", false, "enable POST /campaigns/{id}/kill fault injection")
 	jitterSeed := fs.Uint64("jitter-seed", 1, "seed for the restart-jitter stream")
+	corpus := fs.String("corpus", "", "bigmap-corpusd base URL; campaigns share corpora through it (empty = local-only sync)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -70,6 +71,7 @@ func run(args []string) error {
 		RequestTimeout:  *reqTimeout,
 		Chaos:           *chaos,
 		JitterSeed:      *jitterSeed,
+		CorpusURL:       *corpus,
 		Telemetry:       telemetry.New(),
 	})
 	if err != nil {

@@ -59,7 +59,7 @@ var analyzers = []scoped{
 	{kernelparity.Analyzer, []string{"internal/core"}},
 	{codecsymmetry.Analyzer, []string{"internal/checkpoint"}},
 	{lockcheck.Analyzer, []string{"internal/..."}},
-	{errdrop.Analyzer, []string{"internal/checkpoint", "internal/serve"}},
+	{errdrop.Analyzer, []string{"internal/checkpoint", "internal/serve", "internal/dist", "internal/corpusd"}},
 	{allocfree.Analyzer, []string{"internal/...", "cmd/..."}},
 }
 

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzVirginDeltaCodec pins the virgin-delta wire codec's two contracts
+// under arbitrary inputs:
+//
+//  1. Corruption rejection: DecodeVirginDelta never panics and never
+//     over-allocates on garbage; whatever it rejects, it rejects with an
+//     error, not a crash.
+//  2. Fixed point: every accepted input re-encodes bit for bit
+//     (EncodeVirginDelta(DecodeVirginDelta(b)) == b), every accepted delta
+//     applies cleanly to a fresh map of its declared size, and re-diffing
+//     the applied result against the all-0xFF baseline reproduces the
+//     decoded delta exactly — decode, apply and diff agree on what the
+//     delta means.
+func FuzzVirginDeltaCodec(f *testing.F) {
+	f.Add(EncodeVirginDelta(VirginDelta{Size: 8}))
+	cur := make([]byte, 64)
+	for i := range cur {
+		cur[i] = 0xFF
+	}
+	cur[3] = 0x0F
+	cur[40] = 0x00
+	f.Add(EncodeVirginDelta(DiffVirginBytes(nil, cur)))
+	f.Add([]byte("BMVD"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := DecodeVirginDelta(data)
+		if err != nil {
+			return
+		}
+		if !bytes.Equal(EncodeVirginDelta(d), data) {
+			t.Fatalf("accepted input is not a codec fixed point (%d bytes)", len(data))
+		}
+		fresh := make([]byte, d.Size)
+		for i := range fresh {
+			fresh[i] = 0xFF
+		}
+		disc, err := d.Apply(fresh)
+		if err != nil {
+			t.Fatalf("accepted delta failed to apply: %v", err)
+		}
+		nonVirgin := 0
+		for _, b := range fresh {
+			if b != 0xFF {
+				nonVirgin++
+			}
+		}
+		if disc != nonVirgin {
+			t.Fatalf("apply reported %d discovered, map shows %d", disc, nonVirgin)
+		}
+		rediff := DiffVirginBytes(nil, fresh)
+		if len(rediff.Words) != len(d.Words) {
+			t.Fatalf("re-diff has %d words, decoded delta %d", len(rediff.Words), len(d.Words))
+		}
+		for i := range d.Words {
+			if rediff.Words[i] != d.Words[i] {
+				t.Fatalf("re-diff word %d: %+v != %+v", i, rediff.Words[i], d.Words[i])
+			}
+		}
+		// Kernel parity: the word-level diff must match the byte-at-a-time
+		// reference on the applied state.
+		scalar := DiffVirginBytesScalar(nil, fresh)
+		if len(scalar.Words) != len(rediff.Words) {
+			t.Fatalf("scalar diff has %d words, word-level %d", len(scalar.Words), len(rediff.Words))
+		}
+		for i := range scalar.Words {
+			if scalar.Words[i] != rediff.Words[i] {
+				t.Fatalf("scalar diff word %d: %+v != %+v", i, scalar.Words[i], rediff.Words[i])
+			}
+		}
+	})
+}

@@ -104,6 +104,36 @@ func countNonZeroScalar(p []byte) int {
 	return n
 }
 
+// DiffVirginBytesScalar is the byte-at-a-time DiffVirginBytes reference: it
+// assembles every 8-byte word one byte at a time (missing prev = 0xFF
+// baseline, ragged tails padded with 0xFF) and emits the word iff any byte
+// differs. The differential tests require the word-level walk to produce an
+// identical delta on arbitrary prev/cur pairs.
+func DiffVirginBytesScalar(prev, cur []byte) VirginDelta {
+	d := VirginDelta{Size: len(cur)}
+	nwords := (len(cur) + 7) / 8
+	for wi := 0; wi < nwords; wi++ {
+		var cw uint64
+		differ := false
+		for j := 0; j < 8; j++ {
+			pos := wi*8 + j
+			cb, pb := byte(0xFF), byte(0xFF)
+			if pos < len(cur) {
+				cb = cur[pos]
+				if prev != nil {
+					pb = prev[pos]
+				}
+			}
+			cw |= uint64(cb) << (uint(j) * 8)
+			differ = differ || cb != pb
+		}
+		if differ {
+			d.Words = append(d.Words, DeltaWord{Index: uint32(wi), Word: cw})
+		}
+	}
+	return d
+}
+
 // lastNonZeroScalar is the byte-at-a-time backward-scan reference.
 func lastNonZeroScalar(p []byte) int {
 	for i := len(p) - 1; i >= 0; i-- {

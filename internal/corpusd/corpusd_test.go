@@ -1,0 +1,376 @@
+package corpusd
+
+import (
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/bigmap/bigmap/internal/core"
+	"github.com/bigmap/bigmap/internal/dist"
+)
+
+func testDelta(t *testing.T, size int, hits map[int]byte) []byte {
+	t.Helper()
+	cur := make([]byte, size)
+	for i := range cur {
+		cur[i] = 0xFF
+	}
+	for pos, b := range hits {
+		cur[pos] &= b
+	}
+	return core.EncodeVirginDelta(core.DiffVirginBytes(nil, cur))
+}
+
+func TestCreateCampaignIdempotent(t *testing.T) {
+	s, err := New(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	created, err := s.CreateCampaign("c1", 64)
+	if err != nil || !created {
+		t.Fatalf("create: %v created=%v", err, created)
+	}
+	created, err = s.CreateCampaign("c1", 64)
+	if err != nil || created {
+		t.Fatalf("re-create: %v created=%v", err, created)
+	}
+	if _, err := s.CreateCampaign("c1", 128); !errors.Is(err, ErrCampaignMismatch) {
+		t.Fatalf("size mismatch: %v", err)
+	}
+	for _, bad := range []string{"", "..", "a/b", "x y", string(make([]byte, 200))} {
+		if _, err := s.CreateCampaign(bad, 64); err == nil {
+			t.Fatalf("name %q accepted", bad)
+		}
+	}
+	if _, err := s.CreateCampaign("badsize", 63); err == nil {
+		t.Fatal("invalid map size accepted")
+	}
+}
+
+func pushBatches(t *testing.T, s *Store) {
+	t.Helper()
+	if _, err := s.CreateCampaign("c", 64); err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"a", "b"} {
+		if _, err := s.Join("c", w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Push("c", "a", dist.Batch{
+		Seq:     1,
+		Inputs:  [][]byte{[]byte("one"), []byte("two")},
+		Crashes: []dist.Crash{{Key: 7, Site: 3, StackDepth: 2, Input: []byte("boom")}},
+		Delta:   testDelta(t, 64, map[int]byte{0: 0x7F, 5: 0x00}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Push("c", "b", dist.Batch{
+		Seq:    1,
+		Inputs: [][]byte{[]byte("two"), []byte("three")},
+		Delta:  testDelta(t, 64, map[int]byte{5: 0x00, 9: 0xFE}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreSemanticsMatchHub(t *testing.T) {
+	// The persistent store and the in-memory hub implement the same
+	// contract; drive both through an identical script and compare.
+	s, err := New(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	pushBatches(t, s)
+	h, err := dist.NewHub(64, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range []string{"a", "b"} {
+		if _, err := h.Join(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.Push("a", dist.Batch{
+		Seq:     1,
+		Inputs:  [][]byte{[]byte("one"), []byte("two")},
+		Crashes: []dist.Crash{{Key: 7, Site: 3, StackDepth: 2, Input: []byte("boom")}},
+		Delta:   testDelta(t, 64, map[int]byte{0: 0x7F, 5: 0x00}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Push("b", dist.Batch{
+		Seq:    1,
+		Inputs: [][]byte{[]byte("two"), []byte("three")},
+		Delta:  testDelta(t, 64, map[int]byte{5: 0x00, 9: 0xFE}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sst, err := s.Stats("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hst, err := h.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sst != hst {
+		t.Fatalf("store %+v != hub %+v", sst, hst)
+	}
+	sp, err := s.Pull("c", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hp, err := h.Pull("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sp) != len(hp) || len(sp) != 1 || string(sp[0].Input) != string(hp[0].Input) {
+		t.Fatalf("store pulled %+v, hub %+v", sp, hp)
+	}
+}
+
+func TestStoreRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushBatches(t, s)
+	// a pulls before the restart so its cursor is non-zero on disk.
+	if _, err := s.Pull("c", "a"); err != nil {
+		t.Fatal(err)
+	}
+	before, err := s.Stats("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unionBefore, err := s.UnionSnapshot("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := New(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	after, err := s2.Stats("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before {
+		t.Fatalf("recovered stats %+v, want %+v", after, before)
+	}
+	unionAfter, err := s2.UnionSnapshot("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(unionAfter) != string(unionBefore) {
+		t.Fatal("recovered union diverged")
+	}
+	// Sequence chains resume: the next push for each worker is seq 2.
+	info, err := s2.Join("c", "a")
+	if err != nil || info.LastSeq != 1 {
+		t.Fatalf("a rejoin: %+v, %v", info, err)
+	}
+	if info.Cursor == 0 {
+		t.Fatal("a's pull cursor was not recovered")
+	}
+	if _, err := s2.Push("c", "a", dist.Batch{Seq: 2, Inputs: [][]byte{[]byte("four")}}); err != nil {
+		t.Fatal(err)
+	}
+	// A replayed pre-restart sequence still answers idempotently.
+	if _, err := s2.Push("c", "b", dist.Batch{Seq: 1}); err != nil {
+		t.Fatalf("replay after recovery: %v", err)
+	}
+	crashes, err := s2.Crashes("c")
+	if err != nil || len(crashes) != 1 || crashes[0].Key != 7 || string(crashes[0].Input) != "boom" {
+		t.Fatalf("recovered crashes %+v, %v", crashes, err)
+	}
+}
+
+func TestStoreRecoveryToleratesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushBatches(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash mid-append: garbage half-line at the tail.
+	lpath := filepath.Join(dir, "c", "ledger.jsonl")
+	f, err := os.OpenFile(lpath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":3,"worker":"a","trunc`); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := New(dir, nil)
+	if err != nil {
+		t.Fatalf("torn tail not tolerated: %v", err)
+	}
+	defer s2.Close()
+	st, err := s2.Stats("c")
+	if err != nil || st.Batches != 2 || st.Inputs != 3 {
+		t.Fatalf("recovered stats %+v, %v", st, err)
+	}
+	// The torn line was pruned; the chain continues cleanly.
+	if _, err := s2.Push("c", "a", dist.Batch{Seq: 2, Inputs: [][]byte{[]byte("four")}}); err != nil {
+		t.Fatal(err)
+	}
+	records, err := s2.Ledger("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 {
+		t.Fatalf("ledger has %d records, want 3", len(records))
+	}
+	if _, err := VerifyChain(records, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreRejectsMidFileTampering(t *testing.T) {
+	dir := t.TempDir()
+	s, err := New(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushBatches(t, s)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lpath := filepath.Join(dir, "c", "ledger.jsonl")
+	data, err := os.ReadFile(lpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a byte in the first record: the rewritten history must be
+	// detected, not silently accepted.
+	tampered := append([]byte(nil), data...)
+	tampered[20] ^= 1
+	if err := os.WriteFile(lpath, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(dir, nil); !errors.Is(err, ErrLedgerCorrupt) {
+		t.Fatalf("tampered ledger accepted: %v", err)
+	}
+	// Tampering with stored input bytes is caught by content-hash
+	// verification.
+	if err := os.WriteFile(lpath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hash := dist.HashInput([]byte("one"))
+	if err := os.WriteFile(filepath.Join(dir, "c", "inputs", hash), []byte("evil"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(dir, nil); !errors.Is(err, ErrLedgerCorrupt) {
+		t.Fatalf("tampered input accepted: %v", err)
+	}
+}
+
+func TestMemoryOnlyStore(t *testing.T) {
+	s, err := New("", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pushBatches(t, s)
+	st, err := s.Stats("c")
+	if err != nil || st.Inputs != 3 {
+		t.Fatalf("stats %+v, %v", st, err)
+	}
+	records, err := s.Ledger("c")
+	if err != nil || records != nil {
+		t.Fatalf("memory-only ledger: %v, %v", records, err)
+	}
+}
+
+// TestClientAgainstServer drives the dist.Client through the real handler:
+// the wire implementation must satisfy the same contract the hub does,
+// including sentinel-error mapping across the HTTP boundary.
+func TestClientAgainstServer(t *testing.T) {
+	s, err := New(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	cl, err := dist.NewClient(srv.URL, "wire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.EnsureCampaign(64); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.EnsureCampaign(64); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.EnsureCampaign(128); err == nil {
+		t.Fatal("size mismatch accepted over the wire")
+	}
+	if _, err := cl.Push("ghost", dist.Batch{Seq: 1}); !errors.Is(err, dist.ErrUnknownWorker) {
+		t.Fatalf("unjoined push: %v", err)
+	}
+	info, err := cl.Join("w1")
+	if err != nil || info.LastSeq != 0 {
+		t.Fatalf("join: %+v, %v", info, err)
+	}
+	if _, err := cl.Join("w2"); err != nil {
+		t.Fatal(err)
+	}
+	rcpt, err := cl.Push("w1", dist.Batch{
+		Seq:     1,
+		Inputs:  [][]byte{[]byte("alpha"), []byte("beta")},
+		Crashes: []dist.Crash{{Key: 11, Site: 5, StackDepth: 3, Input: []byte("crash")}},
+		Delta:   testDelta(t, 64, map[int]byte{2: 0x0F}),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rcpt.NewInputs != 2 || rcpt.NewCrashes != 1 || rcpt.UnionDiscovered != 1 {
+		t.Fatalf("receipt %+v", rcpt)
+	}
+	if _, err := cl.Push("w1", dist.Batch{Seq: 5}); !errors.Is(err, dist.ErrSeqGap) {
+		t.Fatalf("gap over the wire: %v", err)
+	}
+	pulled, err := cl.Pull("w2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pulled) != 2 || string(pulled[0].Input) != "alpha" || pulled[0].Hash != dist.HashInput([]byte("alpha")) {
+		t.Fatalf("pulled %+v", pulled)
+	}
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dist.Stats{MapSize: 64, Inputs: 2, Crashes: 1, Workers: 2,
+		Batches: 1, DeltaWords: 1, UnionDiscovered: 1}
+	if st != want {
+		t.Fatalf("stats %+v, want %+v", st, want)
+	}
+	// Stats against an unknown campaign is a clean 404.
+	cl2, err := dist.NewClient(srv.URL, "nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl2.Stats(); err == nil {
+		t.Fatal("unknown campaign accepted")
+	}
+}

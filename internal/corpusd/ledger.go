@@ -1,0 +1,124 @@
+package corpusd
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Record is one accepted batch in a campaign's hash-chained ledger. The
+// ledger is the campaign's durable truth: replaying it (verifying the chain
+// and every referenced input's content hash) reconstructs the store's full
+// state, which is how a restarted corpusd recovers and how anyone holding
+// the ledger can audit that no batch was dropped, reordered or rewritten.
+type Record struct {
+	// Seq is the global record number, 1-based and dense.
+	Seq int `json:"seq"`
+	// Worker and WorkerSeq identify the batch in the pusher's sequence
+	// chain.
+	Worker    string `json:"worker"`
+	WorkerSeq uint64 `json:"worker_seq"`
+	// Inputs lists the content hashes of inputs first seen in this batch,
+	// in arrival order. Duplicates are counted in Dups, not listed.
+	Inputs []string `json:"inputs,omitempty"`
+	Dups   int      `json:"dups,omitempty"`
+	// Crashes lists the dedup keys (hex) of crash buckets first seen in
+	// this batch.
+	Crashes []string `json:"crashes,omitempty"`
+	// Delta is the batch's encoded virgin delta (base64 in JSON), empty
+	// when the batch carried none.
+	Delta []byte `json:"delta,omitempty"`
+	// Prev is the previous record's Hash ("" for the first record); Hash
+	// is this record's chain hash.
+	Prev string `json:"prev"`
+	Hash string `json:"hash"`
+}
+
+// ErrLedgerCorrupt wraps every ledger integrity failure: a broken hash
+// chain, a record that does not hash to its own Hash field, undecodable
+// JSON mid-file.
+var ErrLedgerCorrupt = errors.New("corpusd: ledger corrupt")
+
+// chainHash computes a record's chain hash: SHA-256 over the record's
+// canonical JSON with the Hash field empty (Prev included, so each record
+// commits to the entire prefix).
+func chainHash(r Record) string {
+	r.Hash = ""
+	data, err := json.Marshal(r)
+	if err != nil {
+		// A struct of strings, ints and byte slices cannot fail to marshal.
+		panic(fmt.Sprintf("corpusd: marshal ledger record: %v", err))
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// sealRecord fills in a record's Prev and Hash against the chain tail.
+func sealRecord(r Record, prev string) Record {
+	r.Prev = prev
+	r.Hash = chainHash(r)
+	return r
+}
+
+// VerifyChain checks that records form an unbroken, self-consistent hash
+// chain starting at prev ("" for a full ledger). Returns the tail hash.
+func VerifyChain(records []Record, prev string) (string, error) {
+	for i, r := range records {
+		if r.Seq != i+1 {
+			return "", fmt.Errorf("%w: record %d has seq %d", ErrLedgerCorrupt, i+1, r.Seq)
+		}
+		if r.Prev != prev {
+			return "", fmt.Errorf("%w: record %d prev hash mismatch", ErrLedgerCorrupt, r.Seq)
+		}
+		if got := chainHash(r); got != r.Hash {
+			return "", fmt.Errorf("%w: record %d hash mismatch", ErrLedgerCorrupt, r.Seq)
+		}
+		prev = r.Hash
+	}
+	return prev, nil
+}
+
+// readLedger parses a ledger.jsonl stream, verifying the chain as it goes.
+// A truncated or garbled final line — the signature of a crash mid-append —
+// is tolerated and reported via truncated; corruption anywhere else is an
+// error.
+func readLedger(rd io.Reader) (records []Record, truncated bool, err error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 1<<20), 512<<20)
+	var lines []string
+	for sc.Scan() {
+		if line := strings.TrimSpace(sc.Text()); line != "" {
+			lines = append(lines, line)
+		}
+	}
+	if serr := sc.Err(); serr != nil {
+		return nil, false, fmt.Errorf("corpusd: read ledger: %w", serr)
+	}
+	prev := ""
+	for i, line := range lines {
+		last := i == len(lines)-1
+		var r Record
+		if jerr := json.Unmarshal([]byte(line), &r); jerr != nil {
+			if last {
+				return records, true, nil
+			}
+			return nil, false, fmt.Errorf("%w: undecodable record %d mid-file: %v",
+				ErrLedgerCorrupt, i+1, jerr)
+		}
+		if r.Seq != i+1 || r.Prev != prev || chainHash(r) != r.Hash {
+			if last {
+				return records, true, nil
+			}
+			return nil, false, fmt.Errorf("%w: chain break at record %d mid-file",
+				ErrLedgerCorrupt, i+1)
+		}
+		prev = r.Hash
+		records = append(records, r)
+	}
+	return records, false, nil
+}

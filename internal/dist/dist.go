@@ -1,0 +1,149 @@
+// Package dist generalizes the campaign sync boundary across process and
+// machine lines. internal/parallel synchronizes goroutines by cross-polling
+// queues in memory; this package abstracts that exchange behind a Syncer —
+// a content-addressed rendezvous every worker pushes its discoveries into
+// and pulls its peers' discoveries out of — with two implementations:
+//
+//   - Hub: in memory, for single-process campaigns (and as the reference
+//     semantics the wire implementation is differentially tested against).
+//   - Client: HTTP/JSON against a bigmap-corpusd daemon (internal/corpusd),
+//     so N bigmap-fuzz processes on M machines drive one campaign.
+//
+// The unit of exchange is a Batch: the worker's new queue entries, its new
+// crash buckets, and a virgin-map delta (core.VirginDelta — only the 8-byte
+// words that changed since the worker's previous publish, not the whole
+// map). Inputs and crashes are deduplicated by content hash server-side, so
+// the common case of two workers finding the same input costs one stored
+// copy and a dedup counter bump. Deltas AND-merge into the campaign union —
+// commutative, associative, idempotent — so any interleaving of pushes from
+// any set of workers converges to the same union coverage.
+//
+// Batches carry a per-worker sequence number and pushes are idempotent:
+// replaying an already-accepted sequence returns the stored receipt instead
+// of double-counting, which makes retry-after-timeout safe and lets a
+// restarted worker (fresh local state, same name) re-push its whole corpus
+// and have the store absorb it as duplicates. Join returns the server-side
+// sequence cursor so the restarted worker continues the chain where it left
+// off. The wire store additionally records every accepted batch in a
+// hash-chained ledger (see internal/corpusd) so campaign progress is
+// tamper-evident and replayable.
+package dist
+
+import "errors"
+
+// Syncer is the campaign-wide sync boundary: a rendezvous workers join,
+// push discoveries to, and pull peer discoveries from. Implementations must
+// be safe for concurrent use by multiple workers.
+type Syncer interface {
+	// Join registers (or re-attaches) a worker by name and returns its
+	// server-side cursors. Worker names must be unique within a campaign:
+	// re-joining an existing name resumes that worker's sequence chain and
+	// pull cursor, which is the restart path — two live workers sharing a
+	// name will trample each other's sequence numbers and fail with
+	// ErrSeqGap.
+	Join(worker string) (JoinInfo, error)
+	// Push submits one batch. b.Seq must be the worker's next sequence
+	// number (JoinInfo.LastSeq+1, then +1 per accepted batch). Replaying
+	// the last accepted sequence returns its stored receipt; any other gap
+	// is ErrSeqGap.
+	Push(worker string, b Batch) (Receipt, error)
+	// Pull returns every input pushed by other workers since this worker's
+	// last pull, in global arrival order, and advances the pull cursor.
+	Pull(worker string) ([]Pulled, error)
+	// Stats snapshots the campaign-wide store counters.
+	Stats() (Stats, error)
+}
+
+// Syncer errors. The wire client maps HTTP failure responses back onto
+// these, so callers can errors.Is across both implementations.
+var (
+	// ErrUnknownWorker is returned for Push/Pull from a name that never
+	// joined.
+	ErrUnknownWorker = errors.New("dist: unknown worker (join first)")
+	// ErrSeqGap is returned when a pushed batch's sequence number is
+	// neither the next expected one nor a replay of the last accepted one.
+	ErrSeqGap = errors.New("dist: batch sequence gap")
+	// ErrSizeMismatch is returned when a batch's virgin delta describes a
+	// different map geometry than the campaign's.
+	ErrSizeMismatch = errors.New("dist: virgin delta size mismatch")
+)
+
+// JoinInfo is a worker's server-side resume state.
+type JoinInfo struct {
+	// LastSeq is the highest batch sequence the store has accepted from
+	// this worker (0 for a new worker); the next push must use LastSeq+1.
+	LastSeq uint64
+	// Cursor is the worker's pull position in the global input log.
+	Cursor int
+}
+
+// Crash is one crash bucket in a batch, carrying the Crashwalk-style dedup
+// key computed by the worker (internal/crash.KeyOf) plus the fields triage
+// output needs.
+type Crash struct {
+	Key        uint64
+	Site       uint32
+	StackDepth int
+	Input      []byte
+}
+
+// Batch is one worker's sync-boundary publish.
+type Batch struct {
+	// Seq is the worker's batch sequence number (1-based, dense).
+	Seq uint64
+	// Inputs holds the worker's queue entries not yet pushed, in queue
+	// order.
+	Inputs [][]byte
+	// Crashes holds crash buckets not yet pushed.
+	Crashes []Crash
+	// Delta is an encoded core.VirginDelta carrying the worker's coverage
+	// words that changed since its previous push; nil when nothing changed.
+	Delta []byte
+}
+
+// Receipt is the store's acknowledgement of an accepted (or replayed)
+// batch.
+type Receipt struct {
+	// Seq echoes the accepted batch sequence.
+	Seq uint64
+	// NewInputs and DupInputs split the batch's inputs into first-seen and
+	// content-duplicate.
+	NewInputs int
+	DupInputs int
+	// NewCrashes counts crash buckets first seen in this batch.
+	NewCrashes int
+	// DeltaWords counts the virgin-delta words merged.
+	DeltaWords int
+	// UnionDiscovered is the campaign union's discovered-key count after
+	// the merge.
+	UnionDiscovered int
+}
+
+// Pulled is one input delivered by Pull.
+type Pulled struct {
+	// Hash is the input's content address (hex SHA-256).
+	Hash string
+	// Input is the input bytes.
+	Input []byte
+}
+
+// Stats is a point-in-time snapshot of a campaign store.
+type Stats struct {
+	// MapSize is the campaign's coverage key space.
+	MapSize int
+	// Inputs is the number of distinct stored inputs.
+	Inputs int
+	// Crashes is the number of distinct crash buckets.
+	Crashes int
+	// Workers is the number of joined workers.
+	Workers int
+	// Batches counts accepted batches (replays excluded).
+	Batches int
+	// DedupHits counts pushed inputs that were already stored.
+	DedupHits uint64
+	// DeltaWords counts virgin-delta words merged over the campaign's
+	// lifetime.
+	DeltaWords uint64
+	// UnionDiscovered is the campaign union's discovered-key count.
+	UnionDiscovered int
+}

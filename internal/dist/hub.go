@@ -1,0 +1,235 @@
+package dist
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"github.com/bigmap/bigmap/internal/core"
+	"github.com/bigmap/bigmap/internal/telemetry"
+)
+
+// HashInput returns an input's content address: lowercase hex SHA-256 of
+// its bytes. Both Syncer implementations and the corpusd store use this one
+// function, so addresses agree across process lines.
+func HashInput(input []byte) string {
+	sum := sha256.Sum256(input)
+	return hex.EncodeToString(sum[:])
+}
+
+// Hub is the in-memory Syncer: the single-process rendezvous for campaign
+// instances in one address space, and the reference semantics for the wire
+// path (internal/corpusd implements the same contract with persistence and
+// a ledger on top). All methods are safe for concurrent use.
+type Hub struct {
+	mu sync.Mutex
+
+	size       int                     // immutable after New
+	inputs     map[string][]byte       // guarded by mu; content hash -> bytes
+	order      []pushedInput           // guarded by mu; global arrival order
+	crashes    map[uint64]Crash        // guarded by mu; dedup key -> bucket
+	union      []byte                  // guarded by mu; campaign virgin bytes
+	discovered int                     // guarded by mu; union discovered keys
+	workers    map[string]*workerState // guarded by mu
+	batches    int                     // guarded by mu; accepted batches
+	dedupHits  uint64                  // guarded by mu
+	deltaWords uint64                  // guarded by mu
+
+	// Telemetry mirrors; atomic and nil-safe, deliberately outside mu.
+	telBatches *telemetry.Counter
+	telDedup   *telemetry.Counter
+	telWords   *telemetry.Counter
+	telUnion   *telemetry.Gauge
+}
+
+// pushedInput is one slot of the global arrival log: which input (by hash)
+// and which worker pushed it first.
+type pushedInput struct {
+	hash string
+	src  string
+}
+
+// workerState is one joined worker's server-side cursors.
+type workerState struct {
+	cursor      int     // guarded by mu (Hub.mu); pull position in order
+	lastSeq     uint64  // guarded by mu (Hub.mu); highest accepted batch seq
+	lastReceipt Receipt // guarded by mu (Hub.mu); receipt for lastSeq replays
+}
+
+// NewHub creates an in-memory campaign store for the given coverage key
+// space. reg may be nil (telemetry off).
+func NewHub(size int, reg *telemetry.Registry) (*Hub, error) {
+	if _, err := core.NewLockedVirginUnion(size); err != nil {
+		return nil, fmt.Errorf("dist: hub map size %d: %w", size, err)
+	}
+	union := make([]byte, size)
+	for i := range union {
+		union[i] = 0xFF
+	}
+	return &Hub{
+		size:       size,
+		inputs:     make(map[string][]byte),
+		crashes:    make(map[uint64]Crash),
+		union:      union,
+		workers:    make(map[string]*workerState),
+		telBatches: reg.Counter("dist_hub_batches_total"),
+		telDedup:   reg.Counter("dist_hub_dedup_hits_total"),
+		telWords:   reg.Counter("dist_hub_delta_words_total"),
+		telUnion:   reg.Gauge("dist_hub_union_edges"),
+	}, nil
+}
+
+// Join registers worker (or re-attaches to its existing state).
+func (h *Hub) Join(worker string) (JoinInfo, error) {
+	if worker == "" {
+		return JoinInfo{}, fmt.Errorf("dist: empty worker name")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	w := h.workers[worker]
+	if w == nil {
+		w = &workerState{}
+		h.workers[worker] = w
+	}
+	return JoinInfo{LastSeq: w.lastSeq, Cursor: w.cursor}, nil
+}
+
+// Push accepts one batch: dedups inputs and crashes by content, AND-merges
+// the virgin delta into the campaign union, and returns the receipt.
+// Replaying the last accepted sequence returns its stored receipt.
+func (h *Hub) Push(worker string, b Batch) (Receipt, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	w := h.workers[worker]
+	if w == nil {
+		return Receipt{}, fmt.Errorf("%w: %q", ErrUnknownWorker, worker)
+	}
+	if b.Seq == w.lastSeq && b.Seq != 0 {
+		return w.lastReceipt, nil
+	}
+	if b.Seq != w.lastSeq+1 {
+		return Receipt{}, fmt.Errorf("%w: worker %q pushed seq %d, want %d",
+			ErrSeqGap, worker, b.Seq, w.lastSeq+1)
+	}
+	rcpt, err := h.applyLocked(worker, b)
+	if err != nil {
+		return Receipt{}, err
+	}
+	w.lastSeq = b.Seq
+	w.lastReceipt = rcpt
+	return rcpt, nil
+}
+
+// applyLocked folds a sequence-validated batch into the store.
+func (h *Hub) applyLocked(worker string, b Batch) (Receipt, error) {
+	rcpt := Receipt{Seq: b.Seq}
+	var d core.VirginDelta
+	if len(b.Delta) > 0 {
+		var err error
+		d, err = core.DecodeVirginDelta(b.Delta)
+		if err != nil {
+			return Receipt{}, fmt.Errorf("dist: worker %q delta: %w", worker, err)
+		}
+		if d.Size != h.size {
+			return Receipt{}, fmt.Errorf("%w: delta for %d-key map, campaign has %d",
+				ErrSizeMismatch, d.Size, h.size)
+		}
+	}
+	for _, in := range b.Inputs {
+		hash := HashInput(in)
+		if _, ok := h.inputs[hash]; ok {
+			rcpt.DupInputs++
+			h.dedupHits++
+			continue
+		}
+		h.inputs[hash] = append([]byte(nil), in...)
+		h.order = append(h.order, pushedInput{hash: hash, src: worker})
+		rcpt.NewInputs++
+	}
+	for _, cr := range b.Crashes {
+		if _, ok := h.crashes[cr.Key]; ok {
+			continue
+		}
+		cr.Input = append([]byte(nil), cr.Input...)
+		h.crashes[cr.Key] = cr
+		rcpt.NewCrashes++
+	}
+	if len(d.Words) > 0 {
+		disc, err := d.Apply(h.union)
+		if err != nil {
+			return Receipt{}, fmt.Errorf("dist: worker %q delta: %w", worker, err)
+		}
+		h.discovered += disc
+		h.deltaWords += uint64(len(d.Words))
+		rcpt.DeltaWords = len(d.Words)
+	}
+	h.batches++
+	rcpt.UnionDiscovered = h.discovered
+	h.telBatches.Inc()
+	h.telDedup.Add(uint64(rcpt.DupInputs))
+	h.telWords.Add(uint64(rcpt.DeltaWords))
+	h.telUnion.Set(int64(h.discovered))
+	return rcpt, nil
+}
+
+// Pull delivers every input pushed by other workers since this worker's
+// last pull, in global arrival order. Inputs first pushed by the puller
+// itself are skipped — the puller already has them — which mirrors the
+// in-memory campaign's i != j cross-polling.
+func (h *Hub) Pull(worker string) ([]Pulled, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	w := h.workers[worker]
+	if w == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownWorker, worker)
+	}
+	var out []Pulled
+	for _, p := range h.order[w.cursor:] {
+		if p.src == worker {
+			continue
+		}
+		out = append(out, Pulled{
+			Hash:  p.hash,
+			Input: append([]byte(nil), h.inputs[p.hash]...),
+		})
+	}
+	w.cursor = len(h.order)
+	return out, nil
+}
+
+// Stats snapshots the store counters.
+func (h *Hub) Stats() (Stats, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return Stats{
+		MapSize:         h.size,
+		Inputs:          len(h.inputs),
+		Crashes:         len(h.crashes),
+		Workers:         len(h.workers),
+		Batches:         h.batches,
+		DedupHits:       h.dedupHits,
+		DeltaWords:      h.deltaWords,
+		UnionDiscovered: h.discovered,
+	}, nil
+}
+
+// UnionSnapshot copies out the campaign union's virgin bytes (0xFF =
+// undiscovered), for tests and reporting.
+func (h *Hub) UnionSnapshot() []byte {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]byte(nil), h.union...)
+}
+
+// Crashes returns the deduplicated crash buckets in unspecified order.
+func (h *Hub) Crashes() []Crash {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]Crash, 0, len(h.crashes))
+	//bigmap:nondeterministic-ok inspection accessor; callers sort if they need stable order
+	for _, cr := range h.crashes {
+		out = append(out, cr)
+	}
+	return out
+}

@@ -32,6 +32,7 @@ import (
 	"github.com/bigmap/bigmap/internal/checkpoint"
 	"github.com/bigmap/bigmap/internal/core"
 	"github.com/bigmap/bigmap/internal/crash"
+	"github.com/bigmap/bigmap/internal/dist"
 	"github.com/bigmap/bigmap/internal/fuzzer"
 	"github.com/bigmap/bigmap/internal/rng"
 	"github.com/bigmap/bigmap/internal/target"
@@ -64,6 +65,24 @@ type Config struct {
 	// doubles on every subsequent revival of the same instance. 0 means
 	// 10ms.
 	RestartBackoff time.Duration
+	// Syncer, when set, replaces the in-memory pairwise corpus exchange
+	// with the distributed sync boundary (internal/dist): at every round
+	// boundary each instance pushes its new queue entries, crash buckets
+	// and virgin-map delta to the syncer, then imports what its peers —
+	// in this process or on other machines — published. A dist.Hub keeps
+	// the campaign in-process with identical union coverage to the legacy
+	// exchange (pinned by TestSyncerMatchesLegacySync); a dist.Client
+	// shares the campaign through a bigmap-corpusd service. Sync failures
+	// degrade the campaign to independent instances (logged as sync_error
+	// events) instead of failing it; unacknowledged batches are retried at
+	// the next boundary.
+	Syncer dist.Syncer
+	// Worker prefixes the per-instance worker names registered with
+	// Syncer ("<Worker>-<instance>"). Prefixes must be unique among the
+	// processes driving one campaign — reusing one resumes that worker's
+	// server-side cursors, which is correct after a restart and wrong for
+	// a concurrent duplicate. Empty means "local".
+	Worker string
 	// VirginShards configures the campaign-level virgin union — the
 	// cross-instance coverage view merged at round boundaries. 0 disables
 	// it (Report.UnionEdges stays 0); 1 uses the single-lock reference
@@ -112,6 +131,11 @@ type Campaign struct {
 	// it through their own configs); the campaign adds round/revival
 	// bookkeeping and event-log entries. nil when telemetry is off.
 	tel *telemetry.Registry
+
+	// peers are the instances' dist workers when Config.Syncer is set
+	// (nil otherwise); peers[i] is recreated alongside fuzzers[i] on
+	// revival and resume, since a dist.Worker holds only soft state.
+	peers []*dist.Worker
 
 	// union is the campaign-level virgin union (Config.VirginShards);
 	// nil when disabled. Instance goroutines merge into it concurrently at
@@ -215,15 +239,22 @@ func withDefaults(cfg Config) Config {
 	return cfg
 }
 
-// instanceCfg derives instance i's fuzzer config from the template: a
-// per-instance seed perturbation, and deterministic stages on the master
-// only. Revival and resume rebuild configs through this same function, so a
-// restarted instance is bitwise the campaign's original.
-func (c *Campaign) instanceCfg(i int) fuzzer.Config {
-	fcfg := c.cfg.Fuzzer
+// InstanceConfig derives instance i's fuzzer config from the campaign
+// template: a per-instance seed perturbation, and deterministic stages on
+// the master only. Revival and resume rebuild configs through this same
+// function, so a restarted instance is bitwise the campaign's original.
+// Exported so out-of-process workers (bigmap-fuzz -join) can derive the
+// exact per-instance configuration an in-process campaign would use —
+// the differential tests depend on the two matching.
+func InstanceConfig(cfg Config, i int) fuzzer.Config {
+	fcfg := cfg.Fuzzer
 	fcfg.Seed = fcfg.Seed*31 + uint64(i) + 1
-	fcfg.RunDeterministic = c.cfg.MasterDeterministic && i == 0
+	fcfg.RunDeterministic = cfg.MasterDeterministic && i == 0
 	return fcfg
+}
+
+func (c *Campaign) instanceCfg(i int) fuzzer.Config {
+	return InstanceConfig(c.cfg, i)
 }
 
 // newUnion builds the campaign virgin union for the configured shard count,
@@ -318,8 +349,50 @@ func NewCampaign(prog *target.Program, cfg Config, seeds [][]byte) (*Campaign, e
 			c.seenUpTo[i][j] = c.fuzzers[j].Queue().Len()
 		}
 	}
+	if err := c.attachPeers(); err != nil {
+		return nil, err
+	}
 	c.markBoundary()
 	return c, nil
+}
+
+// unionSize is the campaign's coverage key space: the fuzzer template's
+// defaulted map size, shared by the virgin union and the dist workers.
+func (c *Campaign) unionSize() int {
+	size := c.cfg.Fuzzer.MapSize
+	if size == 0 {
+		size = core.MapSize64K
+	}
+	return size
+}
+
+// peerName is instance i's campaign-unique dist worker name.
+func (c *Campaign) peerName(i int) string {
+	prefix := c.cfg.Worker
+	if prefix == "" {
+		prefix = "local"
+	}
+	return fmt.Sprintf("%s-%d", prefix, i)
+}
+
+// attachPeers creates the per-instance dist workers in syncer mode; no-op
+// otherwise. Called once the fuzzers exist (construction and resume).
+func (c *Campaign) attachPeers() error {
+	if c.cfg.Syncer == nil {
+		return nil
+	}
+	c.peers = make([]*dist.Worker, len(c.fuzzers))
+	for i, f := range c.fuzzers {
+		if c.failed[i] != nil {
+			continue
+		}
+		w, err := dist.NewWorker(f, c.peerName(i), c.cfg.Syncer, c.unionSize())
+		if err != nil {
+			return fmt.Errorf("instance %d: %w", i, err)
+		}
+		c.peers[i] = w
+	}
+	return nil
 }
 
 // Instances returns the per-instance fuzzers (for inspection).
@@ -458,6 +531,16 @@ func (c *Campaign) reviveOrFail(i int, cause error) {
 		base := c.cfg.RestartBackoff << (c.restarts[i] - 1)
 		c.sleep(base + jitter(c.jrng, base))
 		f, err := fuzzer.Resume(c.prog, c.instanceCfg(i), c.snaps[i])
+		if err == nil && c.peers != nil {
+			// A dist.Worker wraps the dead fuzzer; rebuild it around the
+			// revived one. Same name, so the syncer resumes this worker's
+			// cursor and sequence chain. Failure here is a failed revival
+			// attempt like any other.
+			var w *dist.Worker
+			if w, err = dist.NewWorker(f, c.peerName(i), c.cfg.Syncer, c.unionSize()); err == nil {
+				c.peers[i] = w
+			}
+		}
 		if err == nil {
 			c.fuzzers[i] = f
 			copy(c.seenUpTo[i], c.seenSnap[i])
@@ -507,8 +590,14 @@ func (c *Campaign) markBoundary() {
 
 // sync cross-pollinates: every live instance re-executes the queue entries
 // its live peers found since the last exchange and keeps the ones that add
-// local coverage, like AFL's sync_fuzzers.
+// local coverage, like AFL's sync_fuzzers. In syncer mode the exchange goes
+// through Config.Syncer instead — even with a single instance, since its
+// peers may live in other processes.
 func (c *Campaign) sync() {
+	if c.peers != nil {
+		c.syncDist()
+		return
+	}
 	if len(c.fuzzers) < 2 {
 		return
 	}
@@ -544,6 +633,40 @@ func (c *Campaign) sync() {
 		// so telemetry agrees with Report() at every sync boundary.
 		c.progress.noteExecs(i, f.Execs())
 	}
+}
+
+// syncDist runs the distributed sync boundary: every live instance pushes
+// its new queue entries, crash buckets and virgin delta, then pulls and
+// imports what its peers published. All pushes land before any pull, so
+// within one process the exchange delivers exactly what the legacy pairwise
+// sync would (TestSyncerMatchesLegacySync). Failures never kill the
+// campaign: the instance fuzzes on independently and the worker's pending
+// batch is retried at the next boundary.
+func (c *Campaign) syncDist() {
+	for i, w := range c.peers {
+		if c.failed[i] != nil || w == nil {
+			continue
+		}
+		if _, err := w.Push(); err != nil {
+			c.noteSyncError(fmt.Sprintf("instance %d push: %v", i, err))
+		}
+	}
+	for i, w := range c.peers {
+		if c.failed[i] != nil || w == nil {
+			continue
+		}
+		if _, err := w.Pull(); err != nil {
+			c.noteSyncError(fmt.Sprintf("instance %d pull: %v", i, err))
+		}
+		// Imports count as executions; refresh the per-instance gauge so
+		// telemetry agrees with Report() at every sync boundary.
+		c.progress.noteExecs(i, c.fuzzers[i].Execs())
+	}
+}
+
+func (c *Campaign) noteSyncError(msg string) {
+	c.tel.Counter("campaign_sync_errors_total").Inc()
+	c.tel.Event("sync_error", msg)
 }
 
 func (c *Campaign) allReached(perInstance uint64) bool {
@@ -623,6 +746,9 @@ func Resume(prog *target.Program, cfg Config, st *checkpoint.CampaignState) (*Ca
 		for j, v := range st.SeenUpTo[i] {
 			c.seenUpTo[i][j] = int(v)
 		}
+	}
+	if err := c.attachPeers(); err != nil {
+		return nil, err
 	}
 	c.markBoundary()
 	return c, nil

@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/bigmap/bigmap/internal/dist"
 	"github.com/bigmap/bigmap/internal/rng"
 	"github.com/bigmap/bigmap/internal/telemetry"
 )
@@ -59,6 +60,13 @@ type Config struct {
 	// JitterSeed seeds the restart-jitter stream (default 1). Operational
 	// randomness only — it never influences campaign state.
 	JitterSeed uint64
+	// CorpusURL, when set, attaches every campaign to a bigmap-corpusd
+	// corpus service at that base URL: each campaign syncs through a
+	// service campaign named after its ID, so workers elsewhere can join it
+	// with bigmap-fuzz -join. An unreachable service degrades the campaign
+	// to local-only sync (logged as a corpus_unreachable event), never
+	// fails it.
+	CorpusURL string
 	// Telemetry is the daemon-level registry (queue depth, sheds,
 	// restarts, lifecycle events). nil disables daemon metrics; campaigns
 	// still get their own registries.
@@ -324,7 +332,7 @@ func (d *Daemon) Submit(ctx context.Context, req SubmitRequest) (*Info, error) {
 	if err != nil {
 		return abort(err)
 	}
-	runtime, err := spec.newCampaign(prog, c.reg)
+	runtime, err := spec.newCampaign(prog, c.reg, d.corpusSyncer(c))
 	if err != nil {
 		return abort(&SpecError{msg: err.Error()})
 	}
@@ -372,6 +380,30 @@ func (d *Daemon) Submit(ctx context.Context, req SubmitRequest) (*Info, error) {
 }
 
 // activeLocked counts non-terminal campaigns, optionally for one tenant.
+// corpusSyncer builds the campaign's corpus-service attachment: a
+// dist.Client on a service campaign named after the serve campaign ID.
+// Returns nil — local-only sync — when no CorpusURL is configured or the
+// service cannot be reached; the failure is an event, not an error, because
+// corpus sharing is an overlay on a campaign that runs fine without it.
+// Materialization after a restart calls this again under the same campaign
+// ID and worker names, which resumes the service-side cursors exactly.
+func (d *Daemon) corpusSyncer(c *campaign) dist.Syncer {
+	if d.cfg.CorpusURL == "" {
+		return nil
+	}
+	client, err := dist.NewClient(d.cfg.CorpusURL, c.id)
+	if err != nil {
+		c.reg.Event("corpus_unreachable", err.Error())
+		return nil
+	}
+	if err := client.EnsureCampaign(c.spec.MapSize); err != nil {
+		c.reg.Event("corpus_unreachable", fmt.Sprintf("%s: %v", d.cfg.CorpusURL, err))
+		return nil
+	}
+	c.reg.Event("corpus_attached", fmt.Sprintf("%s campaign %s", d.cfg.CorpusURL, c.id))
+	return client
+}
+
 func (d *Daemon) activeLocked(tenant string) int {
 	n := 0
 	for _, c := range d.campaigns {

@@ -191,6 +191,16 @@ func (d *Daemon) handleCrashes(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, buckets)
 }
 
+// handleEvents serves the campaign event log. The polling contract: each
+// GET returns a snapshot of the most recent events (a fixed-capacity ring,
+// currently 256 — older events are evicted, so this is a milestone feed,
+// not a durable stream), oldest first, with monotonic at_ns timestamps
+// measured from daemon start. There is no cursor parameter and no
+// long-poll/SSE mode; clients poll and deduplicate by (at_ns, name,
+// detail), which is unique in practice because at_ns has nanosecond
+// resolution and events are cold-path. Events never carry campaign state —
+// anything a client must not miss (state transitions, stats, crashes) has
+// its own endpoint and is re-derivable there.
 func (d *Daemon) handleEvents(w http.ResponseWriter, r *http.Request) {
 	evs, err := d.Events(r.PathValue("id"))
 	if err != nil {

@@ -184,7 +184,7 @@ func (d *Daemon) materialize(c *campaign) error {
 	if err != nil {
 		return err
 	}
-	rt, err := c.spec.resumeCampaign(c.prog, cs, c.reg)
+	rt, err := c.spec.resumeCampaign(c.prog, cs, c.reg, d.corpusSyncer(c))
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/bigmap/bigmap/internal/checkpoint"
 	"github.com/bigmap/bigmap/internal/core"
+	"github.com/bigmap/bigmap/internal/dist"
 	"github.com/bigmap/bigmap/internal/fuzzer"
 	"github.com/bigmap/bigmap/internal/parallel"
 	"github.com/bigmap/bigmap/internal/rng"
@@ -116,14 +117,17 @@ func (s Spec) seeds(prog *target.Program) [][]byte {
 }
 
 // campaignConfig derives the parallel.Config this spec runs under. reg is
-// the per-campaign telemetry registry (nil-safe); it is attached here rather
-// than stored in the spec because registries are runtime objects, recreated
-// on every materialization.
-func (s Spec) campaignConfig(reg *telemetry.Registry) parallel.Config {
+// the per-campaign telemetry registry and syncer the campaign's corpus
+// service attachment, nil when the daemon runs without one (both nil-safe);
+// they are attached here rather than stored in the spec because they are
+// runtime objects, recreated on every materialization.
+func (s Spec) campaignConfig(reg *telemetry.Registry, syncer dist.Syncer) parallel.Config {
 	return parallel.Config{
 		Instances:           s.Instances,
 		SyncEvery:           s.SyncEvery,
 		MasterDeterministic: s.MasterDeterministic,
+		Syncer:              syncer,
+		Worker:              "serve",
 		Fuzzer: fuzzer.Config{
 			Scheme:    fuzzer.Scheme(s.Scheme),
 			MapSize:   s.MapSize,
@@ -137,8 +141,8 @@ func (s Spec) campaignConfig(reg *telemetry.Registry) parallel.Config {
 }
 
 // newCampaign materializes a fresh runtime for the spec.
-func (s Spec) newCampaign(prog *target.Program, reg *telemetry.Registry) (*parallel.Campaign, error) {
-	c, err := parallel.NewCampaign(prog, s.campaignConfig(reg), s.seeds(prog))
+func (s Spec) newCampaign(prog *target.Program, reg *telemetry.Registry, syncer dist.Syncer) (*parallel.Campaign, error) {
+	c, err := parallel.NewCampaign(prog, s.campaignConfig(reg, syncer), s.seeds(prog))
 	if err != nil {
 		return nil, fmt.Errorf("serve: build campaign: %w", err)
 	}
@@ -148,8 +152,8 @@ func (s Spec) newCampaign(prog *target.Program, reg *telemetry.Registry) (*paral
 // resumeCampaign materializes a runtime from a checkpoint. The spec must be
 // the campaign's original (the store keeps it next to the checkpoint), so
 // the resumed runtime is bitwise the interrupted one.
-func (s Spec) resumeCampaign(prog *target.Program, st *checkpoint.CampaignState, reg *telemetry.Registry) (*parallel.Campaign, error) {
-	c, err := parallel.Resume(prog, s.campaignConfig(reg), st)
+func (s Spec) resumeCampaign(prog *target.Program, st *checkpoint.CampaignState, reg *telemetry.Registry, syncer dist.Syncer) (*parallel.Campaign, error) {
+	c, err := parallel.Resume(prog, s.campaignConfig(reg, syncer), st)
 	if err != nil {
 		return nil, fmt.Errorf("serve: resume campaign: %w", err)
 	}
